@@ -1,0 +1,58 @@
+"""Ablation benchmark: scaling the chain (parallelism, frequency, batch).
+
+The paper argues the 1D chain "involves fewer overheads when scaled up to a
+higher parallelism or clock frequency" (Sec. III.B); this bench sweeps both
+axes with the library's models and checks the scaling behaviour is the clean
+one the claim implies: near-linear throughput in PE count and frequency, flat
+gates-per-PE, and a GOPS/W that does not collapse as the design grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import DesignSpaceExplorer
+from repro.cnn.zoo import alexnet
+
+
+def test_sweep_chain_length(benchmark):
+    explorer = DesignSpaceExplorer(alexnet(), batch=16)
+
+    points = benchmark(explorer.sweep_chain_length, (288, 576, 1152))
+
+    fps = [point.fps for point in points]
+    assert fps == sorted(fps)
+    # near-linear scaling: 4x the PEs buys at least 3x the frame rate
+    assert fps[2] / fps[0] > 3.0
+    # gates per PE stay flat (the "fewer overheads when scaled" claim)
+    gates_per_pe = [point.total_gates / point.config.num_pes for point in points]
+    assert max(gates_per_pe) / min(gates_per_pe) < 1.05
+    # energy efficiency does not collapse with scale
+    efficiency = [point.gops_per_watt for point in points]
+    assert min(efficiency) > 0.5 * max(efficiency)
+
+    print()
+    for point in points:
+        print(point.as_row())
+
+
+def test_sweep_frequency(benchmark):
+    explorer = DesignSpaceExplorer(alexnet(), batch=16)
+
+    points = benchmark(explorer.sweep_frequency, (350, 700, 1000))
+
+    assert points[1].peak_gops == 806.4
+    fps = [point.fps for point in points]
+    assert fps == sorted(fps)
+    # doubling the clock roughly doubles the frame rate
+    assert 1.8 < fps[1] / fps[0] < 2.05
+
+
+def test_sweep_batch_size(benchmark):
+    explorer = DesignSpaceExplorer(alexnet(), batch=16)
+
+    fps_by_batch = benchmark(explorer.sweep_batch_size, (1, 4, 16, 64, 128))
+
+    values = list(fps_by_batch.values())
+    assert values == sorted(values)
+    # the paper's own two data points: 275.6 fps at batch 4, 326.2 at batch 128
+    assert fps_by_batch[128] > fps_by_batch[4] > fps_by_batch[1]
+    assert 1.1 < fps_by_batch[128] / fps_by_batch[4] < 1.5

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Fig. 10 (power breakdown and energy efficiency).
+
+Paper claims: 567.5 mW total while sustaining the 806.4 GOPS peak —
+1421 GOPS/W — split as ~81 % chain, ~9 % kMemory, ~1 % iMemory, ~10 %
+oMemory; core-only efficiency ~1.7 TOPS/W versus DaDianNao's ~3.0 TOPS/W
+core-only but only 349.7 GOPS/W whole-chip.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import (
+    PAPER_EFFICIENCY_GOPS_W,
+    PAPER_TOTAL_MW,
+    run_fig10,
+)
+
+
+def test_fig10_power_breakdown(benchmark):
+    result = benchmark(run_fig10)
+
+    # calibrated model reproduces the published operating point exactly
+    assert abs(result.calibrated.total_w * 1e3 / PAPER_TOTAL_MW - 1.0) < 0.01
+    assert abs(result.measured_efficiency() / PAPER_EFFICIENCY_GOPS_W - 1.0) < 0.01
+
+    # breakdown shape: the chain dominates, iMemory is negligible
+    fractions = result.calibrated.fractions()
+    assert fractions["chain"] > 0.75
+    assert fractions["iMemory"] < 0.02
+    assert fractions["oMemory"] > fractions["kMemory"] > fractions["iMemory"]
+
+    # representative (uncalibrated) energies land in the right regime
+    representative_total = sum(result.measured_breakdown_mw(calibrated=False).values())
+    assert 250 < representative_total < 1200
+
+    print()
+    print(result.report())
+
+
+def test_fig10_core_vs_memory_split(benchmark):
+    """The Fig. 10 right-hand argument: DaDianNao's core alone is more efficient,
+    Chain-NN wins once the memory system is included."""
+    result = benchmark(run_fig10)
+    numbers = result.chain_vs_dadiannao()
+    assert numbers["DaDianNao core-only GOPS/W (published)"] > \
+        numbers["Chain-NN core-only GOPS/W"]
+    assert numbers["Chain-NN total GOPS/W"] > 3.5 * numbers["DaDianNao total GOPS/W (published)"]

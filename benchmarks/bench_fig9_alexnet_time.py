@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Fig. 9 and the Sec. V.B throughput numbers.
+
+Paper claims: per-layer AlexNet convolution times of 159.3 / 102.1 / 57.2 /
+42.9 / 28.6 ms for a 128-image batch at 700 MHz, kernel loading once per
+batch (3.25 ms total), 326.2 fps at batch 128, 275.6 fps at batch 4 and a
+peak throughput of 806.4 GOPS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig9 import (
+    PAPER_CONV_TIME_MS,
+    PAPER_FPS_BATCH128,
+    PAPER_FPS_BATCH4,
+    run_fig9,
+)
+
+
+def test_fig9_alexnet_layer_times(benchmark):
+    result = benchmark(run_fig9)
+
+    # per-layer times: conv1/3/4/5 reproduce to <1 %; conv2 to ~18 %
+    for name, ratio in result.conv_time_ratio().items():
+        tolerance = 0.20 if name == "conv2" else 0.01
+        assert abs(ratio - 1.0) <= tolerance, f"{name}: {ratio:.3f}"
+
+    # ordering of the bars is identical to the paper
+    measured = result.measured_conv_time_ms
+    assert sorted(measured, key=measured.get, reverse=True) == \
+        sorted(PAPER_CONV_TIME_MS, key=PAPER_CONV_TIME_MS.get, reverse=True)
+
+    # frame rates and peak throughput
+    assert abs(result.measured_fps_batch128 / PAPER_FPS_BATCH128 - 1.0) < 0.06
+    assert abs(result.measured_fps_batch4 / PAPER_FPS_BATCH4 - 1.0) < 0.05
+    assert result.measured_peak_gops == 806.4
+
+    print()
+    print(result.report())
+
+
+def test_fig9_batch_amortisation(benchmark, paper_chip, alexnet_network):
+    """Kernel loading is paid once per batch, so fps grows with batch size."""
+
+    def sweep():
+        return [
+            paper_chip.performance_model.network_performance(alexnet_network, batch).frames_per_second
+            for batch in (1, 4, 16, 64, 128)
+        ]
+
+    fps = benchmark(sweep)
+    assert fps == sorted(fps)
+    assert fps[-1] / fps[0] > 1.10

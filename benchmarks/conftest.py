@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and, in addition to timing the model with pytest-benchmark, asserts
+the qualitative claim the artifact supports (who wins, by roughly what
+factor).  Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see
+the rendered paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.zoo import alexnet
+from repro.core.accelerator import ChainNN
+from repro.core.config import ChainConfig
+
+
+@pytest.fixture(scope="session")
+def alexnet_network():
+    """AlexNet geometry shared by all benchmarks."""
+    return alexnet()
+
+
+@pytest.fixture(scope="session")
+def paper_chip():
+    """The 576-PE, 700 MHz Chain-NN instantiation."""
+    return ChainNN.paper_configuration()
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    """The paper's chain configuration."""
+    return ChainConfig.paper_default()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cycle-accurate verification of the dual-channel PE chain.
+
+Run with::
+
+    python examples/cycle_accurate_verification.py
+
+This is the reproduction of the paper's verification methodology (Sec. V.A):
+layers are executed on the register-accurate model of the systolic primitives
+— dual ifmap channels, stationary kernels, column-wise scan — and the outputs
+are checked on the fly against the software reference, exactly like the
+paper's ModelSim-vs-simulator comparison.  It also demonstrates the 16-bit
+fixed-point datapath: the script reports the quantisation error against the
+floating-point reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ChainConfig, tiny_test_network
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.layer import ConvLayer
+from repro.cnn.reference import conv2d_direct
+from repro.sim.cycle import CycleAccurateChainSimulator
+
+
+def verify_layer(simulator, layer, generator) -> None:
+    ifmaps, weights = generator.layer_pair(layer)
+    result = simulator.run_layer(layer, ifmaps, weights)
+    float_reference = conv2d_direct(layer, ifmaps, weights)
+    quant_error = float(np.max(np.abs(float_reference - result.ofmaps)))
+    signal = float(np.sqrt(np.mean(float_reference ** 2)))
+
+    print(f"layer {layer.name:<12} K={layer.kernel_size} stride={layer.stride} "
+          f"groups={layer.groups}")
+    print(f"  exact match vs fixed-point reference : "
+          f"{result.reference_max_abs_error:.2e} max abs error")
+    print(f"  quantisation error vs float reference: {quant_error / signal * 100:.3f} % of RMS")
+    print(f"  primitive cycles                     : {result.stats.primitive_cycles}")
+    print(f"  chain cycles (over {result.layer.kernel_size ** 2}-PE primitives)  : "
+          f"{result.chain_cycles_estimate:.0f}")
+    print(f"  MACs executed                        : {result.stats.macs} "
+          f"(useful: {layer.macs})")
+    print(f"  ifmap format {result.ifmap_format}, weight format {result.weight_format}")
+    print()
+
+
+def main() -> None:
+    simulator = CycleAccurateChainSimulator(ChainConfig())
+    generator = WorkloadGenerator(seed=2017)
+
+    print("Verifying the tiny test network (stride 1, padded layers)...\n")
+    for layer in tiny_test_network().conv_layers:
+        verify_layer(simulator, layer, generator)
+
+    print("Verifying AlexNet-shaped corner cases at toy scale...\n")
+    corner_cases = [
+        ConvLayer("mini_conv1", in_channels=3, out_channels=4, in_height=39, in_width=39,
+                  kernel_size=11, stride=4),
+        ConvLayer("mini_conv2", in_channels=4, out_channels=4, in_height=15, in_width=15,
+                  kernel_size=5, padding=2, groups=2),
+        ConvLayer("mini_conv3", in_channels=6, out_channels=6, in_height=13, in_width=13,
+                  kernel_size=3, padding=1),
+    ]
+    for layer in corner_cases:
+        verify_layer(simulator, layer, generator)
+
+    print("All layers verified: the cycle-accurate chain matches the reference exactly")
+    print("on the quantised operands, with only 16-bit quantisation noise vs float.")
+
+
+if __name__ == "__main__":
+    main()

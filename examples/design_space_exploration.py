@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Design-space exploration: scaling the 1D chain.
+
+Run with::
+
+    python examples/design_space_exploration.py
+
+The paper argues (Sec. III.B) that the 1D chain scales to higher parallelism
+and clock frequency with little overhead.  This example sweeps the chain
+length, the clock frequency and the batch size on AlexNet and VGG-16, and
+prints the worst-case PE utilization across chain lengths — showing why 576
+PEs is a good choice for the mainstream kernel sizes.
+"""
+
+from __future__ import annotations
+
+from repro import alexnet, vgg16
+from repro.analysis.report import render_bar_chart, render_table
+from repro.analysis.sweep import DesignSpaceExplorer
+
+
+def sweep_report(title, points):
+    print(render_table([point.as_row() for point in points], title=title,
+                       row_names=[point.label for point in points], row_label="design point"))
+    print()
+
+
+def main() -> None:
+    for network in (alexnet(), vgg16()):
+        print("#" * 78)
+        print(f"# workload: {network.name}")
+        print("#" * 78)
+        explorer = DesignSpaceExplorer(network, batch=16)
+
+        sweep_report("Chain-length sweep @ 700 MHz",
+                     explorer.sweep_chain_length((144, 288, 576, 864, 1152)))
+        sweep_report("Frequency sweep @ 576 PEs",
+                     explorer.sweep_frequency((350, 500, 700, 900)))
+
+        fps_by_batch = explorer.sweep_batch_size((1, 2, 4, 8, 16, 32, 64, 128))
+        print(render_bar_chart({f"batch {b}": fps for b, fps in fps_by_batch.items()},
+                               title="Frame rate vs batch size (kernel-load amortisation)",
+                               unit=" fps"))
+        print()
+
+    explorer = DesignSpaceExplorer(alexnet(), batch=16)
+    utilization = explorer.utilization_by_chain_length(low=256, high=1152, step=64)
+    print(render_bar_chart({f"{n} PEs": 100 * u for n, u in utilization.items()},
+                           title="Worst-case PE utilization over kernel sizes 3/5/7/9/11 (%)",
+                           unit=" %"))
+
+
+if __name__ == "__main__":
+    main()

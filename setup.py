@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on machines whose setuptools/pip
+combination cannot build PEP 660 editable wheels offline
+(``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

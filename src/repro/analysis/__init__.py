@@ -1,0 +1,26 @@
+"""Result generation: reports, the Table V comparison, sweeps and rooflines."""
+
+from repro.analysis.comparison import ComparisonResult, StateOfTheArtComparison
+from repro.analysis.report import (
+    format_cell,
+    render_bar_chart,
+    render_comparison,
+    render_dict_table,
+    render_table,
+)
+from repro.analysis.roofline import RooflineModel, RooflinePoint
+from repro.analysis.sweep import DesignSpaceExplorer, SweepPoint
+
+__all__ = [
+    "ComparisonResult",
+    "StateOfTheArtComparison",
+    "DesignSpaceExplorer",
+    "SweepPoint",
+    "RooflineModel",
+    "RooflinePoint",
+    "format_cell",
+    "render_table",
+    "render_dict_table",
+    "render_bar_chart",
+    "render_comparison",
+]

@@ -1,0 +1,112 @@
+"""Plain-text table and bar-chart rendering.
+
+The benchmarks print the regenerated tables/figures to stdout so that a run
+of the harness doubles as a human-readable reproduction report; everything is
+ASCII (no plotting dependency) which also keeps the output diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    row_label: str = "",
+    row_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a list of mapping rows as an aligned ASCII table.
+
+    ``columns`` defaults to the keys of the first row (in insertion order);
+    ``row_names`` optionally adds a leading label column.
+    """
+    if not rows:
+        return title or ""
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    header = ([row_label] if row_names is not None else []) + columns
+    body: List[List[str]] = []
+    for index, row in enumerate(rows):
+        cells = [format_cell(row.get(column)) for column in columns]
+        if row_names is not None:
+            cells = [str(row_names[index])] + cells
+        body.append(cells)
+
+    widths = [len(column) for column in header]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(line(header))
+    lines.append(separator)
+    lines.extend(line(cells) for cells in body)
+    return "\n".join(lines)
+
+
+def render_dict_table(data: Mapping[str, Mapping[str, object]], title: Optional[str] = None,
+                      row_label: str = "") -> str:
+    """Render a nested dict ``{row_name: {column: value}}`` as a table."""
+    row_names = list(data.keys())
+    rows = [data[name] for name in row_names]
+    return render_table(rows, title=title, row_label=row_label, row_names=row_names)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for the figure benches)."""
+    if not values:
+        return title or ""
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_width = max(len(str(name)) for name in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(width * abs(value) / peak))) if value else ""
+        lines.append(f"{str(name).ljust(label_width)} | {bar} {format_cell(value)}{unit}")
+    return "\n".join(lines)
+
+
+def render_comparison(paper: Mapping[str, float], measured: Mapping[str, float],
+                      title: Optional[str] = None, unit: str = "") -> str:
+    """Render a paper-vs-measured two-column table with the ratio."""
+    rows = []
+    names = []
+    for key in paper:
+        names.append(key)
+        published = paper[key]
+        ours = measured.get(key)
+        ratio = None if (ours is None or published == 0) else ours / published
+        rows.append({
+            f"paper{unit}": published,
+            f"measured{unit}": ours,
+            "measured/paper": ratio,
+        })
+    return render_table(rows, title=title, row_label="item", row_names=names)

@@ -1,0 +1,112 @@
+"""Design-space exploration sweeps.
+
+The paper argues the 1D chain "involves fewer overheads when scaled up to a
+higher parallelism or clock frequency"; these sweeps quantify that claim with
+the library's models: chain length, clock frequency, kMemory depth and kernel
+mix can all be varied and the resulting throughput / utilization / power /
+area trends collected in one table per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cnn.network import Network
+from repro.cnn.zoo import alexnet
+from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
+from repro.core.performance import PerformanceModel
+from repro.core.utilization import minimum_utilization
+from repro.energy.area import AreaModel
+from repro.energy.power import PowerModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated design point."""
+
+    label: str
+    config: ChainConfig
+    peak_gops: float
+    fps: float
+    power_w: float
+    gops_per_watt: float
+    worst_case_utilization: float
+    total_gates: float
+
+    def as_row(self) -> Dict[str, float | str]:
+        """Row for the sweep report."""
+        return {
+            "PEs": self.config.num_pes,
+            "Freq (MHz)": self.config.frequency_hz / 1e6,
+            "Peak GOPS": self.peak_gops,
+            "AlexNet fps": self.fps,
+            "Power (W)": self.power_w,
+            "GOPS/W": self.gops_per_watt,
+            "worst-case util.": self.worst_case_utilization,
+            "Gates (k)": self.total_gates / 1e3,
+        }
+
+
+class DesignSpaceExplorer:
+    """Evaluates Chain-NN variants over a workload."""
+
+    def __init__(self, network: Optional[Network] = None, batch: int = 128) -> None:
+        self.network = network or alexnet()
+        self.batch = batch
+
+    def evaluate(self, config: ChainConfig, label: Optional[str] = None) -> SweepPoint:
+        """Evaluate one configuration."""
+        performance = PerformanceModel(config)
+        power = PowerModel(config, performance=performance)
+        area = AreaModel(config)
+        perf = performance.network_performance(self.network, self.batch)
+        report = power.network_power(self.network, self.batch)
+        kernel_sizes = [k for k in MAINSTREAM_KERNEL_SIZES if k * k <= config.num_pes]
+        worst = minimum_utilization(config.num_pes, kernel_sizes) if kernel_sizes else 0.0
+        return SweepPoint(
+            label=label or f"{config.num_pes} PEs @ {config.frequency_hz / 1e6:.0f} MHz",
+            config=config,
+            peak_gops=config.peak_gops,
+            fps=perf.frames_per_second,
+            power_w=report.total_w,
+            gops_per_watt=report.gops_per_watt,
+            worst_case_utilization=worst,
+            total_gates=area.report().total_gates,
+        )
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+    def sweep_chain_length(self, pe_counts: Sequence[int] = (144, 288, 432, 576, 720, 864, 1152),
+                           base: Optional[ChainConfig] = None) -> List[SweepPoint]:
+        """Vary the number of PEs at fixed frequency."""
+        base = base or ChainConfig()
+        return [self.evaluate(base.with_pes(count)) for count in pe_counts]
+
+    def sweep_frequency(self, frequencies_mhz: Sequence[float] = (200, 350, 500, 700, 850, 1000),
+                        base: Optional[ChainConfig] = None) -> List[SweepPoint]:
+        """Vary the clock frequency at fixed chain length."""
+        base = base or ChainConfig()
+        return [self.evaluate(base.with_frequency(f * 1e6)) for f in frequencies_mhz]
+
+    def sweep_batch_size(self, batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128)
+                         ) -> Dict[int, float]:
+        """Frame rate versus batch size (kernel loading amortisation, Sec. V.B)."""
+        performance = PerformanceModel(ChainConfig())
+        results = {}
+        for batch in batches:
+            perf = performance.network_performance(self.network, batch)
+            results[batch] = perf.frames_per_second
+        return results
+
+    def utilization_by_chain_length(self, low: int = 128, high: int = 1152, step: int = 32
+                                    ) -> Dict[int, float]:
+        """Worst-case spatial utilization across the mainstream kernel sizes."""
+        results = {}
+        for num_pes in range(low, high + 1, step):
+            sizes = [k for k in MAINSTREAM_KERNEL_SIZES if k * k <= num_pes]
+            if not sizes:
+                continue
+            results[num_pes] = minimum_utilization(num_pes, sizes)
+        return results

@@ -1,0 +1,128 @@
+"""Common interface of the accelerator models used in the Table V comparison.
+
+Every architecture — Chain-NN itself, the memory-centric baseline and the 2D
+spatial baseline — answers the same questions: what is your peak throughput,
+how fast do you run a CNN's convolutional layers, and how much power do you
+draw while doing it.  The comparison and sweep tooling only talks to this
+interface, so adding another baseline is a single subclass.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cnn.network import Network
+from repro.energy.technology import TechNode
+
+
+@dataclass(frozen=True)
+class AcceleratorSummary:
+    """Headline numbers of one accelerator on one workload."""
+
+    name: str
+    technology: str
+    parallelism: int
+    frequency_hz: float
+    gate_count: Optional[float]
+    onchip_memory_bytes: Optional[int]
+    peak_gops: float
+    achieved_gops: float
+    power_w: float
+    batch: int
+
+    @property
+    def energy_efficiency_gops_w(self) -> float:
+        """Peak-throughput energy efficiency (the Table V metric)."""
+        return self.peak_gops / self.power_w if self.power_w else 0.0
+
+    @property
+    def achieved_efficiency_gops_w(self) -> float:
+        """Sustained-throughput energy efficiency on the workload."""
+        return self.achieved_gops / self.power_w if self.power_w else 0.0
+
+    @property
+    def gates_per_pe(self) -> Optional[float]:
+        """Logic gates per PE (the Sec. V.D area-efficiency metric)."""
+        if self.gate_count is None or self.parallelism == 0:
+            return None
+        return self.gate_count / self.parallelism
+
+    def as_row(self) -> Dict[str, float | str | None]:
+        """Row for the Table V report."""
+        return {
+            "Technology": self.technology,
+            "Gate Count (k)": None if self.gate_count is None else self.gate_count / 1e3,
+            "On-chip Memory (KB)": None if self.onchip_memory_bytes is None
+            else self.onchip_memory_bytes / 1024,
+            "Parallelism": self.parallelism,
+            "Core Freq. (MHz)": self.frequency_hz / 1e6,
+            "Power (W)": self.power_w,
+            "Peak Throughput (GOPS)": self.peak_gops,
+            "Energy Eff. (GOPS/W)": self.energy_efficiency_gops_w,
+        }
+
+
+class AcceleratorModel(abc.ABC):
+    """Interface shared by every modelled architecture."""
+
+    #: human-readable architecture name
+    name: str = "accelerator"
+
+    @property
+    @abc.abstractmethod
+    def technology(self) -> TechNode:
+        """Process node the model's energies are expressed in."""
+
+    @property
+    @abc.abstractmethod
+    def parallelism(self) -> int:
+        """Number of MAC units / PEs."""
+
+    @property
+    @abc.abstractmethod
+    def frequency_hz(self) -> float:
+        """Core clock frequency."""
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak throughput with every MAC unit busy (2 ops per MAC)."""
+        return self.parallelism * 2 * self.frequency_hz / 1e9
+
+    @abc.abstractmethod
+    def workload_time_s(self, network: Network, batch: int) -> float:
+        """Time to run the network's convolutional layers for a batch."""
+
+    @abc.abstractmethod
+    def workload_power_w(self, network: Network, batch: int) -> float:
+        """Average power while running the workload."""
+
+    def achieved_gops(self, network: Network, batch: int) -> float:
+        """Sustained throughput on the workload."""
+        time_s = self.workload_time_s(network, batch)
+        operations = 2 * network.total_conv_macs * batch
+        return operations / time_s / 1e9 if time_s > 0 else 0.0
+
+    def gate_count(self) -> Optional[float]:
+        """Total logic gates (``None`` when the model does not estimate area)."""
+        return None
+
+    def onchip_memory_bytes(self) -> Optional[int]:
+        """On-chip storage (``None`` when not modelled)."""
+        return None
+
+    def summarise(self, network: Network, batch: int = 4) -> AcceleratorSummary:
+        """Evaluate the workload and produce the Table V row."""
+        return AcceleratorSummary(
+            name=self.name,
+            technology=self.technology.name,
+            parallelism=self.parallelism,
+            frequency_hz=self.frequency_hz,
+            gate_count=self.gate_count(),
+            onchip_memory_bytes=self.onchip_memory_bytes(),
+            peak_gops=self.peak_gops,
+            achieved_gops=self.achieved_gops(network, batch),
+            power_w=self.workload_power_w(network, batch),
+            batch=batch,
+        )

@@ -1,0 +1,119 @@
+"""Memory-centric baseline (Fig. 2(a) of the taxonomy; DaDianNao-like).
+
+In a memory-centric architecture the processor core is a flat stack of MAC
+units with no inter-PE reuse paths: every operand travels between the memory
+hierarchy and the datapath.  Reconfiguration comes from memory addressing, so
+utilization is high, but each MAC pays for operand movement:
+
+* the synaptic weight is read from the (large, banked) on-chip eDRAM/SRAM;
+* ifmap values are read from a central buffer, amortised over the output
+  neurons that share them in the adder tree (``ifmap_sharing`` outputs);
+* partial sums are kept inside the NFU pipeline (no extra traffic).
+
+The model multiplies those per-MAC access counts by per-access energies
+representative of the structure (multi-megabyte eDRAM is an order of
+magnitude costlier per access than Chain-NN's 512-byte kMemories), which is
+exactly the effect the taxonomy section argues makes this class less energy
+efficient despite its very high peak throughput.  With the default
+parameters the model lands within a few percent of DaDianNao's published
+349.7 GOPS/W while using the published parallelism and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import AcceleratorModel
+from repro.cnn.network import Network
+from repro.energy.technology import ST_28NM, TechNode
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryCentricParams:
+    """Structural and energy parameters of the memory-centric model."""
+
+    parallelism: int = 288 * 16
+    frequency_hz: float = 606e6
+    onchip_memory_bytes: int = 36 * 1024 * 1024
+    #: 16-bit MAC energy (28 nm)
+    mac_op_j: float = 0.60e-12
+    #: weight read from the multi-megabyte eDRAM banks
+    weight_access_j: float = 4.50e-12
+    #: ifmap read from the central input buffer
+    ifmap_access_j: float = 2.60e-12
+    #: ofmap/psum write-back to the output eDRAM
+    ofmap_access_j: float = 3.10e-12
+    #: outputs sharing one ifmap fetch through the adder tree
+    ifmap_sharing: int = 16
+    #: MACs accumulated inside the NFU before a psum write-back
+    psum_chain_length: int = 16
+    #: pipeline registers, control and interconnect per MAC
+    overhead_j: float = 0.55e-12
+    #: average fraction of MAC units that are busy (memory-centric designs
+    #: keep utilization high because any layer shape can be packed)
+    utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        check_positive("parallelism", self.parallelism)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("utilization", self.utilization)
+
+    @property
+    def energy_per_mac_j(self) -> float:
+        """Average energy of one MAC including its share of data movement."""
+        weight = self.weight_access_j
+        ifmap = self.ifmap_access_j / self.ifmap_sharing
+        ofmap = self.ofmap_access_j / self.psum_chain_length
+        return self.mac_op_j + self.overhead_j + weight + ifmap + ofmap
+
+
+class MemoryCentricAccelerator(AcceleratorModel):
+    """DaDianNao-style memory-centric accelerator model."""
+
+    name = "Memory-centric (DaDianNao-like)"
+
+    def __init__(self, params: MemoryCentricParams | None = None,
+                 technology: TechNode = ST_28NM) -> None:
+        self.params = params or MemoryCentricParams()
+        self._technology = technology
+
+    # ------------------------------------------------------------------ #
+    # interface
+    # ------------------------------------------------------------------ #
+    @property
+    def technology(self) -> TechNode:
+        return self._technology
+
+    @property
+    def parallelism(self) -> int:
+        return self.params.parallelism
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.params.frequency_hz
+
+    def onchip_memory_bytes(self) -> int:
+        return self.params.onchip_memory_bytes
+
+    def workload_time_s(self, network: Network, batch: int) -> float:
+        macs = network.total_conv_macs * batch
+        effective_rate = self.parallelism * self.params.utilization * self.frequency_hz
+        return macs / effective_rate
+
+    def workload_power_w(self, network: Network, batch: int) -> float:
+        # power is throughput-proportional: busy MACs x energy per MAC
+        busy_macs_per_s = self.parallelism * self.params.utilization * self.frequency_hz
+        return busy_macs_per_s * self.params.energy_per_mac_j
+
+    # ------------------------------------------------------------------ #
+    # peak-operating-point helpers (used by the Table V bench)
+    # ------------------------------------------------------------------ #
+    def peak_power_w(self) -> float:
+        """Power with every MAC unit busy."""
+        return self.parallelism * self.frequency_hz * self.params.energy_per_mac_j
+
+    @property
+    def peak_efficiency_gops_w(self) -> float:
+        """Peak GOPS per watt (the Table V metric)."""
+        return self.peak_gops / self.peak_power_w()

@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows without
+writing any Python:
+
+* ``info``        — describe the configured accelerator (peak GOPS, memories,
+  Table II utilization);
+* ``run``         — evaluate a zoo network (fps, GOPS, power, traffic);
+* ``experiments`` — regenerate every paper table/figure (paper vs measured);
+* ``sweep``       — chain-length / frequency / batch design-space sweeps;
+* ``verify``      — run the cycle-accurate simulator on small layers and check
+  against the software reference.
+
+Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
+instantiations can be explored from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_bar_chart, render_dict_table, render_table
+from repro.analysis.sweep import DesignSpaceExplorer
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.zoo import NETWORKS, get_network, tiny_test_network
+from repro.core.accelerator import ChainNN
+from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
+from repro.core.utilization import utilization_table
+from repro.hwmodel.clock import ClockDomain
+from repro.sim.cycle import CycleAccurateChainSimulator
+
+
+def _config_from_args(args: argparse.Namespace) -> ChainConfig:
+    return ChainConfig(
+        num_pes=args.pes,
+        clock=ClockDomain(args.frequency_mhz * 1e6),
+    )
+
+
+# --------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------- #
+def cmd_info(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    chip = ChainNN(config)
+    print(chip.describe())
+    rows = {}
+    for kernel, entry in utilization_table(config.num_pes, MAINSTREAM_KERNEL_SIZES).items():
+        rows[f"K={kernel}"] = {
+            "primitives": entry.active_primitives,
+            "active PEs": entry.active_pes,
+            "utilization (%)": entry.utilization * 100.0,
+        }
+    print(render_dict_table(rows, title="PE utilization (Table II)", row_label="kernel"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    network = get_network(args.network)
+    chip = ChainNN(config)
+    result = chip.run_network(network, batch=args.batch)
+    summary = result.summary()
+    print(chip.describe())
+    print(network.summary())
+    print()
+    print(render_table([summary], title=f"{network.name}, batch {args.batch}"))
+    print()
+    print(render_bar_chart(result.performance.layer_times_ms(),
+                           title="Per-layer convolution time (ms)", unit=" ms"))
+    if args.traffic:
+        print()
+        print(render_dict_table(result.traffic.table(), title="Memory traffic (MB)",
+                                row_label="layer"))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    report = run_all()
+    print(report.report())
+    print()
+    for key, value in report.headline().items():
+        print(f"{key:<36} {value:10.2f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    explorer = DesignSpaceExplorer(get_network(args.network), batch=args.batch)
+    if args.axis == "pes":
+        points = explorer.sweep_chain_length()
+    elif args.axis == "frequency":
+        points = explorer.sweep_frequency()
+    else:
+        fps = explorer.sweep_batch_size()
+        print(render_bar_chart({f"batch {b}": value for b, value in fps.items()},
+                               title="fps vs batch size", unit=" fps"))
+        return 0
+    print(render_table([point.as_row() for point in points],
+                       title=f"{args.axis} sweep on {args.network}",
+                       row_names=[point.label for point in points], row_label="point"))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    simulator = CycleAccurateChainSimulator(config)
+    generator = WorkloadGenerator(seed=args.seed)
+    failures = 0
+    for layer in tiny_test_network().conv_layers:
+        ifmaps, weights = generator.layer_pair(layer)
+        result = simulator.run_layer(layer, ifmaps, weights)
+        status = "ok" if (result.reference_max_abs_error or 0.0) < 1e-9 else "MISMATCH"
+        if status != "ok":
+            failures += 1
+        print(f"{layer.name:<10} K={layer.kernel_size} "
+              f"max|err|={result.reference_max_abs_error:.2e} "
+              f"cycles={result.stats.primitive_cycles:<8} {status}")
+    print("verification " + ("PASSED" if failures == 0 else f"FAILED ({failures} layers)"))
+    return 0 if failures == 0 else 1
+
+
+# --------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chain-NN (DATE 2017) reproduction — accelerator models and experiments",
+    )
+    parser.add_argument("--pes", type=int, default=576, help="number of PEs in the chain")
+    parser.add_argument("--frequency-mhz", type=float, default=700.0, help="core clock (MHz)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the accelerator and its Table II utilization")
+
+    run = sub.add_parser("run", help="evaluate a zoo network")
+    run.add_argument("network", choices=sorted(NETWORKS), help="network to evaluate")
+    run.add_argument("--batch", type=int, default=4, help="batch size")
+    run.add_argument("--traffic", action="store_true", help="also print the traffic table")
+
+    sub.add_parser("experiments", help="regenerate every paper table and figure")
+
+    sweep = sub.add_parser("sweep", help="design-space sweeps")
+    sweep.add_argument("axis", choices=("pes", "frequency", "batch"), help="sweep axis")
+    sweep.add_argument("--network", default="alexnet", choices=sorted(NETWORKS))
+    sweep.add_argument("--batch", type=int, default=16)
+
+    verify = sub.add_parser("verify", help="cycle-accurate verification on small layers")
+    verify.add_argument("--seed", type=int, default=2017)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "run": cmd_run,
+        "experiments": cmd_experiments,
+        "sweep": cmd_sweep,
+        "verify": cmd_verify,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

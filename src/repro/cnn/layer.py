@@ -1,0 +1,253 @@
+"""Convolutional-layer specification and shape/complexity arithmetic.
+
+The accelerator models consume layers described by the Table I parameters of
+the paper: batch ``N``, ifmap channels ``C``, ofmap channels ``M``, ifmap
+size ``H``, kernel size ``K`` — extended with stride, padding and channel
+groups, which AlexNet needs (conv1 has stride 4; conv2/4/5 use two groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolutional layer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"conv1"`` ...).
+    in_channels:
+        ``C`` — number of ifmap channels (per group when ``groups > 1`` the
+        value still refers to the *total* ifmap channels).
+    out_channels:
+        ``M`` — number of ofmap channels (total across groups).
+    in_height / in_width:
+        ``H`` — spatial size of the ifmaps (before padding).
+    kernel_size:
+        ``K`` — convolution kernels are ``K x K``.
+    stride:
+        Convolution stride (same horizontally and vertically).
+    padding:
+        Zero padding added on every border.
+    groups:
+        Channel groups (AlexNet's historical two-GPU split).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("in_channels", "out_channels", "in_height", "in_width", "kernel_size",
+                     "stride", "groups"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value <= 0:
+                raise WorkloadError(f"{self.name}: {attr} must be a positive int, got {value!r}")
+        if not isinstance(self.padding, int) or self.padding < 0:
+            raise WorkloadError(f"{self.name}: padding must be a non-negative int")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise WorkloadError(
+                f"{self.name}: groups={self.groups} must divide both in_channels="
+                f"{self.in_channels} and out_channels={self.out_channels}"
+            )
+        if self.kernel_size > self.padded_height or self.kernel_size > self.padded_width:
+            raise WorkloadError(
+                f"{self.name}: kernel {self.kernel_size} larger than padded input "
+                f"{self.padded_height}x{self.padded_width}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def padded_height(self) -> int:
+        """Input height after padding."""
+        return self.in_height + 2 * self.padding
+
+    @property
+    def padded_width(self) -> int:
+        """Input width after padding."""
+        return self.in_width + 2 * self.padding
+
+    @property
+    def out_height(self) -> int:
+        """``E`` — output feature-map height."""
+        return (self.padded_height - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        """Output feature-map width."""
+        return (self.padded_width - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_shape(self) -> Tuple[int, int, int]:
+        """Output shape as ``(M, E, E_w)``."""
+        return (self.out_channels, self.out_height, self.out_width)
+
+    @property
+    def in_shape(self) -> Tuple[int, int, int]:
+        """Input shape as ``(C, H, W)``."""
+        return (self.in_channels, self.in_height, self.in_width)
+
+    @property
+    def in_channels_per_group(self) -> int:
+        """Ifmap channels seen by each output channel."""
+        return self.in_channels // self.groups
+
+    @property
+    def out_channels_per_group(self) -> int:
+        """Ofmap channels produced per group."""
+        return self.out_channels // self.groups
+
+    # ------------------------------------------------------------------ #
+    # complexity
+    # ------------------------------------------------------------------ #
+    @property
+    def macs_per_output(self) -> int:
+        """MACs needed for one output pixel (one channel)."""
+        return self.kernel_size * self.kernel_size * self.in_channels_per_group
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates for one input image."""
+        return self.macs_per_output * self.out_channels * self.out_height * self.out_width
+
+    @property
+    def operations(self) -> int:
+        """Total operations (2 per MAC: multiply + add), the paper's GOPS basis."""
+        return 2 * self.macs
+
+    @property
+    def weight_count(self) -> int:
+        """Number of kernel weights in the layer."""
+        return (
+            self.kernel_size
+            * self.kernel_size
+            * self.in_channels_per_group
+            * self.out_channels
+        )
+
+    @property
+    def input_pixels(self) -> int:
+        """Unpadded ifmap pixels per image."""
+        return self.in_channels * self.in_height * self.in_width
+
+    @property
+    def output_pixels(self) -> int:
+        """Ofmap pixels per image."""
+        return self.out_channels * self.out_height * self.out_width
+
+    def weight_bytes(self, word_bytes: int = 2) -> int:
+        """Storage for the layer's kernels at ``word_bytes`` per weight."""
+        return self.weight_count * word_bytes
+
+    def input_bytes(self, word_bytes: int = 2) -> int:
+        """Storage for one image's ifmaps."""
+        return self.input_pixels * word_bytes
+
+    def output_bytes(self, word_bytes: int = 2) -> int:
+        """Storage for one image's ofmaps."""
+        return self.output_pixels * word_bytes
+
+    def channel_pairs(self) -> int:
+        """Number of (ofmap channel, ifmap channel) 2D convolutions per image.
+
+        This is the unit of work a systolic primitive executes: one pass of
+        one 2D kernel plane over one ifmap channel.
+        """
+        return self.out_channels * self.in_channels_per_group
+
+    def scaled(self, **changes) -> "ConvLayer":
+        """Return a copy with selected fields replaced (keyword arguments)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return (
+            f"{self.name}: {self.in_channels}x{self.in_height}x{self.in_width} -> "
+            f"{self.out_channels}x{self.out_height}x{self.out_width}, "
+            f"K={self.kernel_size}, S={self.stride}, P={self.padding}, G={self.groups}, "
+            f"{self.macs / 1e6:.1f}M MACs"
+        )
+
+
+@dataclass(frozen=True)
+class PoolingLayer:
+    """A max/average pooling layer (kept for complete network descriptions).
+
+    Pooling layers are not accelerated by Chain-NN's chain (the paper only
+    evaluates convolutional layers) but the network zoo keeps them so that
+    inter-layer feature-map sizes remain faithful to the original networks.
+    """
+
+    name: str
+    channels: int
+    in_height: int
+    in_width: int
+    kernel_size: int
+    stride: int
+    mode: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("max", "avg"):
+            raise WorkloadError(f"{self.name}: pooling mode must be 'max' or 'avg'")
+        for attr in ("channels", "in_height", "in_width", "kernel_size", "stride"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value <= 0:
+                raise WorkloadError(f"{self.name}: {attr} must be a positive int")
+
+    @property
+    def out_height(self) -> int:
+        """Output height after pooling."""
+        return (self.in_height - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        """Output width after pooling."""
+        return (self.in_width - self.kernel_size) // self.stride + 1
+
+
+@dataclass(frozen=True)
+class FullyConnectedLayer:
+    """A fully connected layer, representable as a 1x1 convolution.
+
+    Chain-NN focuses on convolutional layers; FC layers are included in the
+    zoo for completeness and can be lowered to :class:`ConvLayer` via
+    :meth:`as_conv` for what-if analyses.
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise WorkloadError(f"{self.name}: feature counts must be positive")
+
+    @property
+    def macs(self) -> int:
+        """MAC count for one input vector."""
+        return self.in_features * self.out_features
+
+    def as_conv(self) -> ConvLayer:
+        """Lower to an equivalent 1x1 convolution over a 1x1 feature map."""
+        return ConvLayer(
+            name=self.name,
+            in_channels=self.in_features,
+            out_channels=self.out_features,
+            in_height=1,
+            in_width=1,
+            kernel_size=1,
+        )

@@ -1,0 +1,99 @@
+"""Network container: an ordered list of layers plus aggregate statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Union
+
+from repro.cnn.layer import ConvLayer, FullyConnectedLayer, PoolingLayer
+from repro.errors import WorkloadError
+
+Layer = Union[ConvLayer, PoolingLayer, FullyConnectedLayer]
+
+
+@dataclass
+class Network:
+    """A CNN described as an ordered sequence of layers.
+
+    Only :class:`~repro.cnn.layer.ConvLayer` entries are dispatched to the
+    accelerator models; pooling/FC layers are carried along for shape
+    bookkeeping and reporting.
+    """
+
+    name: str
+    layers: List[Layer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("a network needs a non-empty name")
+
+    # ------------------------------------------------------------------ #
+    # access helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def conv_layers(self) -> List[ConvLayer]:
+        """The convolutional layers, in execution order."""
+        return [layer for layer in self.layers if isinstance(layer, ConvLayer)]
+
+    def conv_layer(self, name: str) -> ConvLayer:
+        """Look up a convolutional layer by name."""
+        for layer in self.conv_layers:
+            if layer.name == name:
+                return layer
+        raise WorkloadError(f"{self.name}: no convolutional layer named {name!r}")
+
+    def add(self, layer: Layer) -> "Network":
+        """Append a layer and return ``self`` for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------ #
+    # aggregate statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_conv_macs(self) -> int:
+        """MACs of all convolutional layers for one input image."""
+        return sum(layer.macs for layer in self.conv_layers)
+
+    @property
+    def total_conv_operations(self) -> int:
+        """Operations (2x MACs) of all convolutional layers for one image."""
+        return 2 * self.total_conv_macs
+
+    @property
+    def total_conv_weights(self) -> int:
+        """Number of convolutional kernel weights in the network."""
+        return sum(layer.weight_count for layer in self.conv_layers)
+
+    def total_conv_weight_bytes(self, word_bytes: int = 2) -> int:
+        """Bytes of convolutional weights at the given word size."""
+        return self.total_conv_weights * word_bytes
+
+    def summary(self) -> str:
+        """Multi-line human readable summary of the convolutional layers."""
+        lines = [f"{self.name}: {len(self.conv_layers)} conv layers, "
+                 f"{self.total_conv_macs / 1e6:.0f}M MACs/image, "
+                 f"{self.total_conv_weights / 1e6:.2f}M weights"]
+        for layer in self.conv_layers:
+            lines.append("  " + layer.describe())
+        return "\n".join(lines)
+
+
+def validate_chaining(layers: Sequence[ConvLayer]) -> None:
+    """Check that consecutive conv layers have compatible channel counts.
+
+    The zoo definitions interleave pooling layers, so this helper is only
+    applied to directly-chained convolution stacks (e.g. VGG blocks).
+    """
+    for previous, current in zip(layers, layers[1:]):
+        if previous.out_channels != current.in_channels:
+            raise WorkloadError(
+                f"layer {current.name} expects {current.in_channels} input channels "
+                f"but {previous.name} produces {previous.out_channels}"
+            )

@@ -1,0 +1,129 @@
+"""Float-to-fixed-point conversion of CNN tensors.
+
+This is the reproduction of the paper's "float-point-to-fix-point simulator
+... integrated with MatConvnet": given floating-point weights and feature
+maps it selects a Q-format, converts the tensors, runs the quantised
+convolution and reports the accuracy loss relative to the float reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.reference import conv2d_direct
+from repro.errors import QuantizationError
+from repro.hwmodel.fixed_point import FixedPointFormat
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Outcome of quantising and re-running one layer."""
+
+    layer_name: str
+    ifmap_format: FixedPointFormat
+    weight_format: FixedPointFormat
+    max_abs_error: float
+    mean_abs_error: float
+    rmse: float
+    reference_rms: float
+
+    @property
+    def relative_rmse(self) -> float:
+        """RMSE normalised by the reference output RMS (signal-to-error measure)."""
+        if self.reference_rms == 0.0:
+            return 0.0
+        return self.rmse / self.reference_rms
+
+    @property
+    def sqnr_db(self) -> float:
+        """Signal-to-quantisation-noise ratio in dB."""
+        if self.rmse == 0.0:
+            return float("inf")
+        if self.reference_rms == 0.0:
+            return float("-inf")
+        return 20.0 * float(np.log10(self.reference_rms / self.rmse))
+
+
+def choose_format(values: np.ndarray, total_bits: int = 16) -> FixedPointFormat:
+    """Pick the Q-format with the most fractional bits that avoids saturation.
+
+    The integer bit count is chosen from the largest magnitude present in
+    ``values`` (plus the sign bit); everything left over becomes fraction.
+    This mirrors the per-tensor static quantisation used by early fixed-point
+    CNN accelerators.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise QuantizationError("cannot choose a format for an empty tensor")
+    max_abs = float(np.max(np.abs(arr)))
+    if max_abs == 0.0:
+        int_bits = 0
+    else:
+        int_bits = max(0, int(np.ceil(np.log2(max_abs + 1e-12))) + 1)
+    frac_bits = total_bits - 1 - int_bits
+    if frac_bits < 0:
+        raise QuantizationError(
+            f"values with max |x|={max_abs:.3g} cannot be represented in {total_bits} bits"
+        )
+    return FixedPointFormat(total_bits=total_bits, frac_bits=frac_bits)
+
+
+def quantize_layer_tensors(
+    ifmaps: np.ndarray,
+    weights: np.ndarray,
+    total_bits: int = 16,
+) -> Tuple[np.ndarray, np.ndarray, FixedPointFormat, FixedPointFormat]:
+    """Quantise (ifmaps, weights) with per-tensor formats; returns grids + formats."""
+    ifmap_fmt = choose_format(ifmaps, total_bits)
+    weight_fmt = choose_format(weights, total_bits)
+    return (
+        ifmap_fmt.quantize(ifmaps),
+        weight_fmt.quantize(weights),
+        ifmap_fmt,
+        weight_fmt,
+    )
+
+
+def evaluate_layer_quantization(
+    layer: ConvLayer,
+    ifmaps: np.ndarray,
+    weights: np.ndarray,
+    total_bits: int = 16,
+) -> QuantizationResult:
+    """Quantise one layer's operands, re-run the convolution and report error."""
+    reference = conv2d_direct(layer, ifmaps, weights)
+    q_ifmaps, q_weights, ifmap_fmt, weight_fmt = quantize_layer_tensors(
+        ifmaps, weights, total_bits
+    )
+    quantised = conv2d_direct(layer, q_ifmaps, q_weights)
+    error = reference - quantised
+    return QuantizationResult(
+        layer_name=layer.name,
+        ifmap_format=ifmap_fmt,
+        weight_format=weight_fmt,
+        max_abs_error=float(np.max(np.abs(error))) if error.size else 0.0,
+        mean_abs_error=float(np.mean(np.abs(error))) if error.size else 0.0,
+        rmse=float(np.sqrt(np.mean(error**2))) if error.size else 0.0,
+        reference_rms=float(np.sqrt(np.mean(reference**2))) if reference.size else 0.0,
+    )
+
+
+def bit_width_sweep(
+    layer: ConvLayer,
+    ifmaps: np.ndarray,
+    weights: np.ndarray,
+    bit_widths: Tuple[int, ...] = (8, 10, 12, 16, 20),
+) -> Dict[int, QuantizationResult]:
+    """Evaluate quantisation error across several word lengths.
+
+    Used by the fixed-point-accuracy example to show why the paper's 16-bit
+    choice is sufficient for inference.
+    """
+    results: Dict[int, QuantizationResult] = {}
+    for bits in bit_widths:
+        results[bits] = evaluate_layer_quantization(layer, ifmaps, weights, total_bits=bits)
+    return results

@@ -1,0 +1,162 @@
+"""Golden-model convolution in NumPy.
+
+The paper checks RTL outputs on-the-fly against a software simulator; this
+module plays that role.  Two implementations are provided — a straightforward
+direct convolution and an im2col/GEMM formulation — so the reference itself
+can be cross-checked.  Both operate on single images in CHW layout and
+support stride, zero padding and channel groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.layer import ConvLayer
+from repro.errors import WorkloadError
+
+
+def pad_input(ifmaps: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad a CHW tensor on both spatial borders."""
+    if padding == 0:
+        return ifmaps
+    return np.pad(ifmaps, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def _check_shapes(layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray) -> None:
+    expected_in = (layer.in_channels, layer.in_height, layer.in_width)
+    if ifmaps.shape != expected_in:
+        raise WorkloadError(
+            f"{layer.name}: ifmaps shape {ifmaps.shape} does not match layer {expected_in}"
+        )
+    expected_w = (
+        layer.out_channels,
+        layer.in_channels_per_group,
+        layer.kernel_size,
+        layer.kernel_size,
+    )
+    if weights.shape != expected_w:
+        raise WorkloadError(
+            f"{layer.name}: weight shape {weights.shape} does not match layer {expected_w}"
+        )
+
+
+def conv2d_direct(layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
+                  bias: np.ndarray | None = None) -> np.ndarray:
+    """Direct (loop-based, vectorised over channels) 2D convolution.
+
+    Parameters
+    ----------
+    layer:
+        Geometry description.
+    ifmaps:
+        ``(C, H, W)`` input tensor.
+    weights:
+        ``(M, C/groups, K, K)`` kernel tensor.
+    bias:
+        Optional ``(M,)`` bias vector.
+
+    Returns
+    -------
+    ``(M, E, E_w)`` output tensor (float64).
+    """
+    _check_shapes(layer, ifmaps, weights)
+    padded = pad_input(np.asarray(ifmaps, dtype=np.float64), layer.padding)
+    kernel = layer.kernel_size
+    stride = layer.stride
+    out = np.zeros((layer.out_channels, layer.out_height, layer.out_width), dtype=np.float64)
+
+    in_per_group = layer.in_channels_per_group
+    out_per_group = layer.out_channels_per_group
+    for group in range(layer.groups):
+        in_lo = group * in_per_group
+        out_lo = group * out_per_group
+        group_input = padded[in_lo:in_lo + in_per_group]
+        group_weights = weights[out_lo:out_lo + out_per_group]
+        for row in range(layer.out_height):
+            for col in range(layer.out_width):
+                window = group_input[
+                    :,
+                    row * stride:row * stride + kernel,
+                    col * stride:col * stride + kernel,
+                ]
+                # (out_per_group,) = sum over (C/g, K, K)
+                out[out_lo:out_lo + out_per_group, row, col] = np.tensordot(
+                    group_weights, window, axes=([1, 2, 3], [0, 1, 2])
+                )
+    if bias is not None:
+        out += np.asarray(bias, dtype=np.float64)[:, None, None]
+    return out
+
+
+def im2col(layer: ConvLayer, padded: np.ndarray, group: int) -> np.ndarray:
+    """Lower one group's padded input to an im2col matrix.
+
+    Returns a matrix of shape ``(C/g * K * K, E * E_w)`` whose columns are the
+    flattened convolution windows in row-major output order.
+    """
+    kernel = layer.kernel_size
+    stride = layer.stride
+    in_per_group = layer.in_channels_per_group
+    in_lo = group * in_per_group
+    patches = np.empty(
+        (in_per_group * kernel * kernel, layer.out_height * layer.out_width),
+        dtype=np.float64,
+    )
+    column = 0
+    for row in range(layer.out_height):
+        for col in range(layer.out_width):
+            window = padded[
+                in_lo:in_lo + in_per_group,
+                row * stride:row * stride + kernel,
+                col * stride:col * stride + kernel,
+            ]
+            patches[:, column] = window.reshape(-1)
+            column += 1
+    return patches
+
+
+def conv2d_im2col(layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
+                  bias: np.ndarray | None = None) -> np.ndarray:
+    """im2col + matrix-multiply formulation of the same convolution."""
+    _check_shapes(layer, ifmaps, weights)
+    padded = pad_input(np.asarray(ifmaps, dtype=np.float64), layer.padding)
+    out = np.zeros((layer.out_channels, layer.out_height, layer.out_width), dtype=np.float64)
+    out_per_group = layer.out_channels_per_group
+    for group in range(layer.groups):
+        out_lo = group * out_per_group
+        patches = im2col(layer, padded, group)
+        kernel_matrix = weights[out_lo:out_lo + out_per_group].reshape(out_per_group, -1)
+        result = kernel_matrix @ patches
+        out[out_lo:out_lo + out_per_group] = result.reshape(
+            out_per_group, layer.out_height, layer.out_width
+        )
+    if bias is not None:
+        out += np.asarray(bias, dtype=np.float64)[:, None, None]
+    return out
+
+
+def conv2d_single_channel(ifmap: np.ndarray, kernel: np.ndarray, stride: int = 1,
+                          padding: int = 0) -> np.ndarray:
+    """Single-channel 2D convolution used to validate one systolic primitive.
+
+    ``ifmap`` is ``(H, W)``; ``kernel`` is ``(K, K)``.  This is the exact
+    operation one 1D systolic primitive computes per (ofmap channel, ifmap
+    channel) pair before cross-channel accumulation.
+    """
+    ifmap = np.asarray(ifmap, dtype=np.float64)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+        raise WorkloadError(f"kernel must be square 2D, got shape {kernel.shape}")
+    if padding:
+        ifmap = np.pad(ifmap, ((padding, padding), (padding, padding)), mode="constant")
+    size = kernel.shape[0]
+    out_h = (ifmap.shape[0] - size) // stride + 1
+    out_w = (ifmap.shape[1] - size) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise WorkloadError("kernel larger than (padded) input")
+    out = np.zeros((out_h, out_w), dtype=np.float64)
+    for row in range(out_h):
+        for col in range(out_w):
+            window = ifmap[row * stride:row * stride + size, col * stride:col * stride + size]
+            out[row, col] = float(np.sum(window * kernel))
+    return out

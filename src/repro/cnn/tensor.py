@@ -1,0 +1,87 @@
+"""Feature-map container helpers (CHW layout) and layout conversions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class FeatureMap:
+    """A named CHW tensor with convenience accessors.
+
+    The accelerator models mostly index single channels (a systolic primitive
+    works on one 2D plane at a time), so the container exposes per-channel
+    iteration and basic layout transforms.
+    """
+
+    name: str
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.data, dtype=np.float64)
+        if array.ndim != 3:
+            raise WorkloadError(
+                f"{self.name}: feature maps must be 3D (C, H, W), got shape {array.shape}"
+            )
+        self.data = array
+
+    @property
+    def channels(self) -> int:
+        """Number of channels ``C``."""
+        return self.data.shape[0]
+
+    @property
+    def height(self) -> int:
+        """Spatial height ``H``."""
+        return self.data.shape[1]
+
+    @property
+    def width(self) -> int:
+        """Spatial width ``W``."""
+        return self.data.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """The (C, H, W) shape tuple."""
+        return tuple(self.data.shape)  # type: ignore[return-value]
+
+    def channel(self, index: int) -> np.ndarray:
+        """Return one 2D channel plane."""
+        if not (0 <= index < self.channels):
+            raise WorkloadError(f"{self.name}: channel {index} out of range 0..{self.channels - 1}")
+        return self.data[index]
+
+    def iter_channels(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate ``(channel_index, plane)`` pairs."""
+        for index in range(self.channels):
+            yield index, self.data[index]
+
+    def padded(self, padding: int) -> "FeatureMap":
+        """Return a zero-padded copy."""
+        if padding < 0:
+            raise WorkloadError("padding must be >= 0")
+        if padding == 0:
+            return FeatureMap(self.name, self.data.copy())
+        padded = np.pad(self.data, ((0, 0), (padding, padding), (padding, padding)))
+        return FeatureMap(f"{self.name}+pad{padding}", padded)
+
+    def to_hwc(self) -> np.ndarray:
+        """Return the data transposed to HWC layout."""
+        return np.transpose(self.data, (1, 2, 0))
+
+    @classmethod
+    def from_hwc(cls, name: str, data: np.ndarray) -> "FeatureMap":
+        """Construct from an HWC tensor."""
+        array = np.asarray(data, dtype=np.float64)
+        if array.ndim != 3:
+            raise WorkloadError(f"{name}: HWC data must be 3D, got shape {array.shape}")
+        return cls(name, np.transpose(array, (2, 0, 1)))
+
+    def bytes(self, word_bytes: int = 2) -> int:
+        """Storage footprint at the given word size."""
+        return int(self.data.size) * word_bytes

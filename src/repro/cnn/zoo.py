@@ -1,0 +1,142 @@
+"""Network zoo: the CNNs the paper evaluates.
+
+The paper generates test data from pre-trained MatConvNet models of MNIST
+(LeNet-style), CIFAR-10, AlexNet and VGG-16.  The accelerator's timing,
+utilization, traffic and power depend only on layer *geometry*, so the zoo
+reproduces the layer shapes exactly; weights/activations are synthesised by
+:mod:`repro.cnn.generator` when functional simulation needs them.
+
+AlexNet layer geometry follows Krizhevsky et al. 2012 (227x227 input,
+grouped conv2/4/5), which yields the 666M MACs per image the paper quotes
+for the five convolutional layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cnn.layer import ConvLayer, FullyConnectedLayer, PoolingLayer
+from repro.cnn.network import Network
+
+
+def alexnet() -> Network:
+    """AlexNet's five convolutional layers (227x227x3 input, grouped conv2/4/5)."""
+    net = Network(name="AlexNet")
+    net.add(ConvLayer("conv1", in_channels=3, out_channels=96, in_height=227, in_width=227,
+                      kernel_size=11, stride=4, padding=0, groups=1))
+    net.add(PoolingLayer("pool1", channels=96, in_height=55, in_width=55, kernel_size=3, stride=2))
+    net.add(ConvLayer("conv2", in_channels=96, out_channels=256, in_height=27, in_width=27,
+                      kernel_size=5, stride=1, padding=2, groups=2))
+    net.add(PoolingLayer("pool2", channels=256, in_height=27, in_width=27, kernel_size=3, stride=2))
+    net.add(ConvLayer("conv3", in_channels=256, out_channels=384, in_height=13, in_width=13,
+                      kernel_size=3, stride=1, padding=1, groups=1))
+    net.add(ConvLayer("conv4", in_channels=384, out_channels=384, in_height=13, in_width=13,
+                      kernel_size=3, stride=1, padding=1, groups=2))
+    net.add(ConvLayer("conv5", in_channels=384, out_channels=256, in_height=13, in_width=13,
+                      kernel_size=3, stride=1, padding=1, groups=2))
+    net.add(PoolingLayer("pool5", channels=256, in_height=13, in_width=13, kernel_size=3, stride=2))
+    net.add(FullyConnectedLayer("fc6", in_features=256 * 6 * 6, out_features=4096))
+    net.add(FullyConnectedLayer("fc7", in_features=4096, out_features=4096))
+    net.add(FullyConnectedLayer("fc8", in_features=4096, out_features=1000))
+    return net
+
+
+def _vgg_block(prefix: str, count: int, in_channels: int, out_channels: int,
+               size: int) -> List[ConvLayer]:
+    """Build ``count`` chained 3x3 convolutions of a VGG block."""
+    layers = []
+    channels = in_channels
+    for index in range(count):
+        layers.append(ConvLayer(
+            name=f"{prefix}_{index + 1}",
+            in_channels=channels,
+            out_channels=out_channels,
+            in_height=size,
+            in_width=size,
+            kernel_size=3,
+            stride=1,
+            padding=1,
+        ))
+        channels = out_channels
+    return layers
+
+
+def vgg16() -> Network:
+    """VGG-16 convolutional layers (224x224x3 input, thirteen 3x3 convolutions)."""
+    net = Network(name="VGG-16")
+    specs = [
+        ("conv1", 2, 3, 64, 224),
+        ("conv2", 2, 64, 128, 112),
+        ("conv3", 3, 128, 256, 56),
+        ("conv4", 3, 256, 512, 28),
+        ("conv5", 3, 512, 512, 14),
+    ]
+    for prefix, count, in_ch, out_ch, size in specs:
+        for layer in _vgg_block(prefix, count, in_ch, out_ch, size):
+            net.add(layer)
+        net.add(PoolingLayer(f"pool_{prefix}", channels=out_ch, in_height=size,
+                             in_width=size, kernel_size=2, stride=2))
+    net.add(FullyConnectedLayer("fc6", in_features=512 * 7 * 7, out_features=4096))
+    net.add(FullyConnectedLayer("fc7", in_features=4096, out_features=4096))
+    net.add(FullyConnectedLayer("fc8", in_features=4096, out_features=1000))
+    return net
+
+
+def lenet5() -> Network:
+    """LeNet-style MNIST network (the paper's MNIST test case)."""
+    net = Network(name="LeNet-5")
+    net.add(ConvLayer("conv1", in_channels=1, out_channels=20, in_height=28, in_width=28,
+                      kernel_size=5, stride=1, padding=0))
+    net.add(PoolingLayer("pool1", channels=20, in_height=24, in_width=24, kernel_size=2, stride=2))
+    net.add(ConvLayer("conv2", in_channels=20, out_channels=50, in_height=12, in_width=12,
+                      kernel_size=5, stride=1, padding=0))
+    net.add(PoolingLayer("pool2", channels=50, in_height=8, in_width=8, kernel_size=2, stride=2))
+    net.add(FullyConnectedLayer("fc3", in_features=50 * 4 * 4, out_features=500))
+    net.add(FullyConnectedLayer("fc4", in_features=500, out_features=10))
+    return net
+
+
+def cifar10_quick() -> Network:
+    """The MatConvNet ``cifar-quick`` style network (the paper's CIFAR-10 case)."""
+    net = Network(name="CIFAR10-quick")
+    net.add(ConvLayer("conv1", in_channels=3, out_channels=32, in_height=32, in_width=32,
+                      kernel_size=5, stride=1, padding=2))
+    net.add(PoolingLayer("pool1", channels=32, in_height=32, in_width=32, kernel_size=3, stride=2))
+    net.add(ConvLayer("conv2", in_channels=32, out_channels=32, in_height=15, in_width=15,
+                      kernel_size=5, stride=1, padding=2))
+    net.add(PoolingLayer("pool2", channels=32, in_height=15, in_width=15, kernel_size=3, stride=2))
+    net.add(ConvLayer("conv3", in_channels=32, out_channels=64, in_height=7, in_width=7,
+                      kernel_size=5, stride=1, padding=2))
+    net.add(PoolingLayer("pool3", channels=64, in_height=7, in_width=7, kernel_size=3, stride=2))
+    net.add(FullyConnectedLayer("fc4", in_features=64 * 3 * 3, out_features=64))
+    net.add(FullyConnectedLayer("fc5", in_features=64, out_features=10))
+    return net
+
+
+def tiny_test_network(kernel_size: int = 3, channels: int = 2, size: int = 8) -> Network:
+    """A small synthetic network used by unit tests and the cycle-level simulator."""
+    net = Network(name="tiny-test")
+    net.add(ConvLayer("convA", in_channels=channels, out_channels=4, in_height=size,
+                      in_width=size, kernel_size=kernel_size, stride=1, padding=0))
+    net.add(ConvLayer("convB", in_channels=4, out_channels=4,
+                      in_height=size - kernel_size + 1, in_width=size - kernel_size + 1,
+                      kernel_size=kernel_size, stride=1,
+                      padding=kernel_size // 2))
+    return net
+
+
+#: registry used by example scripts and the experiment runner
+NETWORKS: Dict[str, callable] = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "lenet5": lenet5,
+    "cifar10": cifar10_quick,
+}
+
+
+def get_network(name: str) -> Network:
+    """Instantiate a zoo network by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in NETWORKS:
+        raise KeyError(f"unknown network {name!r}; available: {sorted(NETWORKS)}")
+    return NETWORKS[key]()

@@ -1,0 +1,157 @@
+"""The Chain-NN accelerator facade.
+
+``ChainNN`` ties together the mapper, the analytical performance model, the
+memory-traffic model and the power model behind one object, which is the
+public entry point most examples and benchmarks use:
+
+>>> from repro import ChainNN, alexnet
+>>> chip = ChainNN.paper_configuration()
+>>> result = chip.run_network(alexnet(), batch=128)
+>>> round(result.performance.frames_per_second, 1)   # doctest: +SKIP
+350.3
+
+Every result object keeps the per-layer details so Fig. 9 / Table IV /
+Fig. 10-style breakdowns can be produced from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.mapper import LayerMapper, LayerMapping
+from repro.core.performance import (
+    LayerPerformance,
+    NetworkPerformance,
+    PerformanceModel,
+)
+from repro.energy.components import EnergyParams
+from repro.energy.power import PowerModel, PowerReport
+from repro.memory.traffic import LayerTraffic, NetworkTraffic, TrafficModel
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Everything the models say about one layer at one batch size."""
+
+    layer: ConvLayer
+    mapping: LayerMapping
+    performance: LayerPerformance
+    traffic: LayerTraffic
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Everything the models say about a network at one batch size."""
+
+    network: Network
+    batch: int
+    layers: List[LayerResult]
+    performance: NetworkPerformance
+    traffic: NetworkTraffic
+    power: PowerReport
+
+    @property
+    def frames_per_second(self) -> float:
+        """Sustained frame rate for the batch."""
+        return self.performance.frames_per_second
+
+    @property
+    def gops_per_watt(self) -> float:
+        """Energy efficiency over the workload."""
+        return self.power.gops_per_watt
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers, keyed the way EXPERIMENTS.md reports them."""
+        return {
+            "batch": float(self.batch),
+            "fps": self.performance.frames_per_second,
+            "conv_time_per_batch_ms": self.performance.conv_time_per_batch_s * 1e3,
+            "kernel_load_time_ms": self.performance.kernel_load_time_s * 1e3,
+            "achieved_gops": self.performance.achieved_gops,
+            "total_power_w": self.power.total_w,
+            "gops_per_watt": self.power.gops_per_watt,
+        }
+
+
+class ChainNN:
+    """The Chain-NN accelerator (model facade)."""
+
+    def __init__(
+        self,
+        config: Optional[ChainConfig] = None,
+        energy: Optional[EnergyParams] = None,
+        performance_mode: str = "paper",
+    ) -> None:
+        self.config = config or ChainConfig()
+        self.mapper = LayerMapper(self.config)
+        self.performance_model = PerformanceModel(self.config, mode=performance_mode)
+        self.traffic_model = TrafficModel(self.config)
+        self.power_model = PowerModel(
+            config=self.config,
+            energy=energy,
+            performance=self.performance_model,
+            traffic=self.traffic_model,
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_configuration(cls, calibrate_power_to: Optional[Network] = None,
+                            batch: int = 4) -> "ChainNN":
+        """The 576-PE, 700 MHz instantiation evaluated in the paper.
+
+        When ``calibrate_power_to`` is given, the power model's unit energies
+        are fitted so the Fig. 10 breakdown is reproduced exactly for that
+        network (see :meth:`repro.energy.power.PowerModel.calibrated_to_paper`).
+        """
+        chip = cls(ChainConfig.paper_default())
+        if calibrate_power_to is not None:
+            chip.power_model = chip.power_model.calibrated_to_paper(calibrate_power_to, batch)
+        return chip
+
+    # ------------------------------------------------------------------ #
+    # headline numbers
+    # ------------------------------------------------------------------ #
+    @property
+    def peak_gops(self) -> float:
+        """Peak throughput (806.4 GOPS for the paper configuration)."""
+        return self.config.peak_gops
+
+    def utilization(self, kernel_size: int) -> float:
+        """Spatial PE utilization for one kernel size (Table II)."""
+        return self.mapper.chain.utilization(kernel_size).utilization
+
+    # ------------------------------------------------------------------ #
+    # running workloads
+    # ------------------------------------------------------------------ #
+    def run_layer(self, layer: ConvLayer, batch: int = 1) -> LayerResult:
+        """Evaluate one convolutional layer."""
+        mapping = self.mapper.map_layer(layer)
+        performance = self.performance_model.layer_performance(layer, batch)
+        traffic = self.traffic_model.layer_traffic(layer, batch)
+        return LayerResult(layer=layer, mapping=mapping, performance=performance,
+                           traffic=traffic)
+
+    def run_network(self, network: Network, batch: int = 1) -> NetworkResult:
+        """Evaluate every convolutional layer of a network."""
+        layers = [self.run_layer(layer, batch) for layer in network.conv_layers]
+        performance = self.performance_model.network_performance(network, batch)
+        traffic = self.traffic_model.network_traffic(network, batch)
+        power = self.power_model.network_power(network, batch)
+        return NetworkResult(
+            network=network,
+            batch=batch,
+            layers=layers,
+            performance=performance,
+            traffic=traffic,
+            power=power,
+        )
+
+    def describe(self) -> str:
+        """One-line description of the instantiation."""
+        return self.config.describe()

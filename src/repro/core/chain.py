@@ -1,0 +1,120 @@
+"""The 1D chain: partitioning a row of PEs into systolic primitives (Fig. 3).
+
+The chain itself is deliberately simple — that is the paper's point.  Given a
+kernel size ``K`` the chain is cut into consecutive groups of ``K^2`` PEs;
+each group gets a pair of primitive ports (input at its first PE, output at
+its last PE).  This module captures that partitioning plus the bookkeeping
+used by the performance, area and power models (how many primitives and PEs
+are active, where the port PEs sit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import ChainConfig
+from repro.core.utilization import UtilizationEntry, utilization_entry
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class PrimitiveSlot:
+    """The chain positions occupied by one systolic primitive."""
+
+    index: int
+    first_pe: int
+    last_pe: int
+
+    @property
+    def num_pes(self) -> int:
+        """PEs in the primitive (``K^2``)."""
+        return self.last_pe - self.first_pe + 1
+
+    def contains(self, pe_position: int) -> bool:
+        """True if the chain position belongs to this primitive."""
+        return self.first_pe <= pe_position <= self.last_pe
+
+
+@dataclass(frozen=True)
+class ChainPartition:
+    """A complete partitioning of the chain for one kernel size."""
+
+    kernel_size: int
+    total_pes: int
+    slots: List[PrimitiveSlot]
+
+    @property
+    def active_pes(self) -> int:
+        """PEs that belong to a primitive."""
+        return sum(slot.num_pes for slot in self.slots)
+
+    @property
+    def idle_pes(self) -> int:
+        """Left-over PEs at the end of the chain."""
+        return self.total_pes - self.active_pes
+
+    @property
+    def num_primitives(self) -> int:
+        """Number of active primitives."""
+        return len(self.slots)
+
+    @property
+    def utilization(self) -> float:
+        """Spatial PE utilization (Table II definition)."""
+        return self.active_pes / self.total_pes
+
+    def slot_of(self, pe_position: int) -> PrimitiveSlot | None:
+        """The primitive a chain position belongs to, or ``None`` if idle."""
+        if not (0 <= pe_position < self.total_pes):
+            raise MappingError(
+                f"PE position {pe_position} outside chain of {self.total_pes} PEs"
+            )
+        size = self.kernel_size * self.kernel_size
+        index = pe_position // size
+        if index < len(self.slots) and self.slots[index].contains(pe_position):
+            return self.slots[index]
+        return None
+
+
+class PEChain:
+    """The physical 1D chain of PEs described by a :class:`ChainConfig`."""
+
+    def __init__(self, config: ChainConfig | None = None) -> None:
+        self.config = config or ChainConfig()
+
+    @property
+    def num_pes(self) -> int:
+        """Chain length."""
+        return self.config.num_pes
+
+    def partition(self, kernel_size: int) -> ChainPartition:
+        """Cut the chain into ``K^2``-PE primitives for a given kernel size."""
+        size = kernel_size * kernel_size
+        if size > self.num_pes:
+            raise MappingError(
+                f"kernel {kernel_size}x{kernel_size} needs {size} PEs, chain has {self.num_pes}"
+            )
+        count = self.num_pes // size
+        slots = [
+            PrimitiveSlot(index=i, first_pe=i * size, last_pe=(i + 1) * size - 1)
+            for i in range(count)
+        ]
+        return ChainPartition(kernel_size=kernel_size, total_pes=self.num_pes, slots=slots)
+
+    def utilization(self, kernel_size: int) -> UtilizationEntry:
+        """Table II entry for this chain and kernel size."""
+        return utilization_entry(self.num_pes, kernel_size)
+
+    def primitive_port_count(self, kernel_size: int) -> int:
+        """Number of primitive input/output port pairs attached to the chain."""
+        return self.partition(kernel_size).num_primitives
+
+    def describe(self, kernel_size: int) -> str:
+        """Human-readable partition summary."""
+        partition = self.partition(kernel_size)
+        return (
+            f"{self.num_pes}-PE chain, K={kernel_size}: "
+            f"{partition.num_primitives} primitives x {kernel_size * kernel_size} PEs = "
+            f"{partition.active_pes} active PEs ({partition.utilization * 100:.1f} %)"
+        )

@@ -1,0 +1,144 @@
+"""Chain-NN accelerator configuration.
+
+The defaults reproduce the instantiation evaluated in the paper:
+
+* 576 dual-channel PEs, each pipelined into three stages, 700 MHz;
+* 16-bit fixed-point datapath;
+* 352 KB of on-chip memory: 32 KB iMemory, 25 KB oMemory and 295 KB of
+  kMemory distributed over the PEs (256 kernel weights per PE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.hwmodel.clock import ClockDomain
+from repro.utils.validation import check_positive_int
+
+#: kernel sizes Table II reports; other sizes are still supported.
+MAINSTREAM_KERNEL_SIZES = (3, 5, 7, 9, 11)
+
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """Static configuration of one Chain-NN instance.
+
+    Attributes
+    ----------
+    num_pes:
+        Number of PEs in the 1D chain (the paper's case study uses 576).
+    clock:
+        Clock domain; the paper's layout closes timing at 700 MHz.
+    word_bits:
+        Datapath width of ifmaps/weights (16-bit fixed point).
+    pe_pipeline_stages:
+        MAC-path pipeline depth inside each PE (3 in the paper).
+    kmemory_words_per_pe:
+        Kernel-weight capacity of the per-PE register file (256 words, i.e.
+        295 KB over 576 PEs).
+    imemory_bytes / omemory_bytes:
+        On-chip ifmap / ofmap SRAM sizes (32 KB / 25 KB).
+    dual_channel:
+        True for the paper's dual-channel PE; False models the
+        single-channel strawman of Fig. 5(a).
+    ops_per_mac:
+        Operations counted per MAC when reporting GOPS (2 = multiply + add).
+    """
+
+    num_pes: int = 576
+    clock: ClockDomain = field(default_factory=lambda: ClockDomain(700e6))
+    word_bits: int = 16
+    pe_pipeline_stages: int = 3
+    kmemory_words_per_pe: int = 256
+    imemory_bytes: int = 32 * KIB
+    omemory_bytes: int = 25 * KIB
+    dual_channel: bool = True
+    ops_per_mac: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive_int("num_pes", self.num_pes)
+        check_positive_int("word_bits", self.word_bits)
+        check_positive_int("kmemory_words_per_pe", self.kmemory_words_per_pe)
+        check_positive_int("imemory_bytes", self.imemory_bytes)
+        check_positive_int("omemory_bytes", self.omemory_bytes)
+        check_positive_int("ops_per_mac", self.ops_per_mac)
+        if self.pe_pipeline_stages < 0:
+            raise ConfigurationError(
+                f"pe_pipeline_stages must be >= 0, got {self.pe_pipeline_stages}"
+            )
+        if self.word_bits % 8:
+            raise ConfigurationError(f"word_bits must be a multiple of 8, got {self.word_bits}")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per datapath word."""
+        return self.word_bits // 8
+
+    @property
+    def frequency_hz(self) -> float:
+        """Core clock frequency."""
+        return self.clock.frequency_hz
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Upper bound of MACs per cycle (every PE busy)."""
+        return self.num_pes
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak throughput in GOPS (the paper's 806.4 GOPS for the default)."""
+        return self.num_pes * self.ops_per_mac * self.frequency_hz / 1e9
+
+    @property
+    def kmemory_bytes_per_pe(self) -> int:
+        """kMemory capacity per PE in bytes."""
+        return self.kmemory_words_per_pe * self.word_bytes
+
+    @property
+    def kmemory_total_bytes(self) -> int:
+        """Aggregate kMemory capacity across the chain."""
+        return self.kmemory_bytes_per_pe * self.num_pes
+
+    @property
+    def onchip_memory_bytes(self) -> int:
+        """Total on-chip storage: iMemory + oMemory + kMemory (352 KB default)."""
+        return self.imemory_bytes + self.omemory_bytes + self.kmemory_total_bytes
+
+    @property
+    def ifmap_channels_per_cycle(self) -> int:
+        """Ifmap pixels the chain can accept per cycle per primitive."""
+        return 2 if self.dual_channel else 1
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    def with_pes(self, num_pes: int) -> "ChainConfig":
+        """Copy of this configuration with a different chain length."""
+        return replace(self, num_pes=num_pes)
+
+    def with_frequency(self, frequency_hz: float) -> "ChainConfig":
+        """Copy of this configuration with a different clock frequency."""
+        return replace(self, clock=ClockDomain(frequency_hz))
+
+    def single_channel(self) -> "ChainConfig":
+        """Copy configured as the single-channel strawman of Fig. 5(a)."""
+        return replace(self, dual_channel=False)
+
+    @classmethod
+    def paper_default(cls) -> "ChainConfig":
+        """The exact instantiation evaluated in the paper."""
+        return cls()
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"Chain-NN: {self.num_pes} PEs @ {self.frequency_hz / 1e6:.0f} MHz, "
+            f"{self.word_bits}-bit, peak {self.peak_gops:.1f} GOPS, "
+            f"on-chip {self.onchip_memory_bytes / KIB:.0f} KiB"
+        )

@@ -1,0 +1,137 @@
+"""Finite-state-machine controller of the chain (Sec. III.B).
+
+The paper's execution procedure is: (1) initialise the FSM with the layer's
+CNN parameters, (2) load the kernels into the chain, (3) stream the ifmaps
+and collect results.  The controller below implements that sequencing for the
+models in this library: it tracks the current phase, counts the cycles spent
+in each phase and enforces legal transitions.  Both the analytical
+accelerator facade and the cycle-level simulator drive it, which keeps their
+phase accounting consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.mapper import LayerMapping
+from repro.errors import SimulationError
+
+
+class Phase(str, enum.Enum):
+    """Controller phases."""
+
+    IDLE = "idle"
+    CONFIGURE = "configure"
+    LOAD_KERNEL = "load_kernel"
+    STREAM = "stream"
+    DRAIN = "drain"
+
+
+#: legal phase transitions
+_TRANSITIONS = {
+    Phase.IDLE: {Phase.CONFIGURE},
+    Phase.CONFIGURE: {Phase.LOAD_KERNEL},
+    Phase.LOAD_KERNEL: {Phase.STREAM},
+    Phase.STREAM: {Phase.DRAIN, Phase.STREAM, Phase.LOAD_KERNEL},
+    Phase.DRAIN: {Phase.IDLE, Phase.LOAD_KERNEL, Phase.STREAM},
+}
+
+
+@dataclass
+class PhaseLog:
+    """Cycle counts accumulated per phase."""
+
+    cycles: Dict[str, int] = field(default_factory=lambda: {phase.value: 0 for phase in Phase})
+
+    def add(self, phase: Phase, cycles: int) -> None:
+        """Accumulate cycles spent in a phase."""
+        if cycles < 0:
+            raise SimulationError(f"cannot log negative cycles ({cycles}) for {phase}")
+        self.cycles[phase.value] += cycles
+
+    @property
+    def total(self) -> int:
+        """Total logged cycles across all phases."""
+        return sum(self.cycles.values())
+
+    @property
+    def busy(self) -> int:
+        """Cycles in which the chain is doing useful work (kernel load + stream + drain)."""
+        return (
+            self.cycles[Phase.LOAD_KERNEL.value]
+            + self.cycles[Phase.STREAM.value]
+            + self.cycles[Phase.DRAIN.value]
+        )
+
+
+class ChainController:
+    """The FSM that sequences kernel loading and ifmap streaming."""
+
+    def __init__(self) -> None:
+        self.phase = Phase.IDLE
+        self.log = PhaseLog()
+        self.current_mapping: Optional[LayerMapping] = None
+        self.layers_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # transitions
+    # ------------------------------------------------------------------ #
+    def _goto(self, phase: Phase) -> None:
+        if phase not in _TRANSITIONS[self.phase]:
+            raise SimulationError(f"illegal controller transition {self.phase} -> {phase}")
+        self.phase = phase
+
+    def configure(self, mapping: LayerMapping) -> None:
+        """Initialise the FSM for a new layer (paper step 1)."""
+        self._goto(Phase.CONFIGURE)
+        self.current_mapping = mapping
+        self.log.add(Phase.CONFIGURE, 1)
+
+    def load_kernels(self, cycles: Optional[int] = None) -> int:
+        """Account for kernel loading (paper step 2).  Returns the cycles spent."""
+        if self.current_mapping is None:
+            raise SimulationError("configure() must be called before load_kernels()")
+        self._goto(Phase.LOAD_KERNEL)
+        spent = cycles if cycles is not None else self.current_mapping.kernel_load_cycles
+        self.log.add(Phase.LOAD_KERNEL, spent)
+        return spent
+
+    def stream(self, cycles: int) -> None:
+        """Account for ifmap streaming / convolution cycles (paper step 3)."""
+        if self.phase not in (Phase.LOAD_KERNEL, Phase.STREAM, Phase.DRAIN):
+            raise SimulationError(f"cannot stream from phase {self.phase}")
+        self._goto(Phase.STREAM)
+        self.log.add(Phase.STREAM, cycles)
+
+    def drain(self, cycles: int) -> None:
+        """Account for pipeline drain cycles at the end of a pass."""
+        self._goto(Phase.DRAIN)
+        self.log.add(Phase.DRAIN, cycles)
+
+    def finish_layer(self) -> None:
+        """Return to idle after a layer completes."""
+        if self.phase not in (Phase.DRAIN, Phase.STREAM):
+            raise SimulationError(f"cannot finish a layer from phase {self.phase}")
+        if self.phase == Phase.STREAM:
+            self._goto(Phase.DRAIN)
+        self._goto(Phase.IDLE)
+        self.layers_completed += 1
+        self.current_mapping = None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of logged cycles spent doing useful work."""
+        total = self.log.total
+        return self.log.busy / total if total else 0.0
+
+    def reset(self) -> None:
+        """Return the controller to power-on state, clearing the log."""
+        self.phase = Phase.IDLE
+        self.log = PhaseLog()
+        self.current_mapping = None
+        self.layers_completed = 0

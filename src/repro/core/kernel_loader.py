@@ -1,0 +1,137 @@
+"""Kernel-loading path: distributing stationary weights into the PEs' kMemory.
+
+The paper loads kernels once per batch at one weight per cycle (the rate its
+per-layer kernel-load times imply) and sizes kMemory at 256 weights per PE.
+This module models the loading path explicitly:
+
+* the *placement* of a layer's kernels over the chain — which PE stores which
+  weights at which kMemory addresses, per pass of channel pairs;
+* the number of load cycles and kMemory writes (which feed the traffic and
+  power models);
+* whether the layer's working set fits kMemory for a whole batch or has to be
+  streamed in chunks, and how many chunks ("refills") are needed — a capacity
+  analysis the mapper exposes as a single number but which is useful to see
+  laid out per layer when exploring kMemory sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.mapper import LayerMapper
+from repro.errors import CapacityError
+
+
+@dataclass(frozen=True)
+class KernelPlacement:
+    """Where one channel pair's kernel plane lives in the chain."""
+
+    pass_index: int          # which sequential pass over the primitives
+    primitive_index: int     # which primitive executes the pair
+    ofmap_channel: int
+    ifmap_channel: int
+    kmemory_slot: int        # per-PE kMemory address used by this pass
+
+
+@dataclass(frozen=True)
+class LayerLoadPlan:
+    """Kernel-loading plan of one layer."""
+
+    layer: ConvLayer
+    placements: List[KernelPlacement]
+    weights_per_pe: int
+    kmemory_capacity: int
+    load_cycles: int
+    kmemory_write_words: int
+
+    @property
+    def refills(self) -> int:
+        """How many times kMemory must be (re)filled to cover the layer."""
+        if self.weights_per_pe == 0:
+            return 1
+        return -(-self.weights_per_pe // self.kmemory_capacity)
+
+    @property
+    def fits_in_kmemory(self) -> bool:
+        """True when every pass's weights are resident simultaneously."""
+        return self.refills == 1
+
+    @property
+    def kmemory_occupancy(self) -> float:
+        """Fraction of the per-PE kMemory the layer needs (may exceed 1)."""
+        return self.weights_per_pe / self.kmemory_capacity
+
+    def placements_for_primitive(self, primitive_index: int) -> List[KernelPlacement]:
+        """The channel pairs a given primitive executes, in pass order."""
+        return [p for p in self.placements if p.primitive_index == primitive_index]
+
+
+class KernelLoader:
+    """Builds :class:`LayerLoadPlan` objects for a chain configuration."""
+
+    def __init__(self, config: Optional[ChainConfig] = None) -> None:
+        self.config = config or ChainConfig()
+        self.mapper = LayerMapper(self.config)
+
+    def plan_layer(self, layer: ConvLayer, max_placements: Optional[int] = 100_000
+                   ) -> LayerLoadPlan:
+        """Plan the kernel distribution of one layer.
+
+        ``max_placements`` bounds the explicit placement list for very large
+        layers (the counts are exact regardless); pass ``None`` to enumerate
+        everything.
+        """
+        mapping = self.mapper.map_layer(layer)
+        primitives = mapping.active_primitives
+        placements: List[KernelPlacement] = []
+
+        pair_index = 0
+        for group in range(layer.groups):
+            for m_local in range(layer.out_channels_per_group):
+                m = group * layer.out_channels_per_group + m_local
+                for c_local in range(layer.in_channels_per_group):
+                    c = group * layer.in_channels_per_group + c_local
+                    pass_index = pair_index // primitives
+                    primitive_index = pair_index % primitives
+                    if max_placements is None or len(placements) < max_placements:
+                        placements.append(KernelPlacement(
+                            pass_index=pass_index,
+                            primitive_index=primitive_index,
+                            ofmap_channel=m,
+                            ifmap_channel=c,
+                            kmemory_slot=pass_index % self.config.kmemory_words_per_pe,
+                        ))
+                    pair_index += 1
+
+        return LayerLoadPlan(
+            layer=layer,
+            placements=placements,
+            weights_per_pe=mapping.weights_per_pe,
+            kmemory_capacity=self.config.kmemory_words_per_pe,
+            load_cycles=layer.weight_count,
+            kmemory_write_words=layer.weight_count,
+        )
+
+    def plan_network(self, network: Network) -> Dict[str, LayerLoadPlan]:
+        """Plan every convolutional layer of a network."""
+        return {layer.name: self.plan_layer(layer) for layer in network.conv_layers}
+
+    def network_kmemory_requirement(self, network: Network) -> int:
+        """Largest per-PE weight count any layer needs (for kMemory sizing studies)."""
+        return max(self.plan_layer(layer).weights_per_pe for layer in network.conv_layers)
+
+    def validate_against_capacity(self, network: Network, strict: bool = False) -> Dict[str, int]:
+        """Refill counts per layer; with ``strict`` raise if any layer needs refills."""
+        refills = {layer.name: self.plan_layer(layer).refills for layer in network.conv_layers}
+        if strict:
+            offenders = {name: count for name, count in refills.items() if count > 1}
+            if offenders:
+                raise CapacityError(
+                    f"layers exceeding the {self.config.kmemory_words_per_pe}-entry kMemory: "
+                    f"{offenders}"
+                )
+        return refills

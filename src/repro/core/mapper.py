@@ -1,0 +1,118 @@
+"""Mapping a convolutional layer onto the 1D chain.
+
+A layer with ``M`` ofmap channels, ``C`` ifmap channels (per group) and a
+``K x K`` kernel decomposes into ``M * C_per_group`` independent 2D
+convolutions ("channel pairs"); each pair is executed by one systolic
+primitive as a sequence of stripes.  The mapper decides:
+
+* how many primitives are active (``floor(P / K^2)``, Table II),
+* how the channel pairs are distributed over primitives (``passes``),
+* how many kernel weights each PE must hold and whether they fit the per-PE
+  kMemory (if not, kernels are streamed in chunks — the total number of
+  weight-load cycles is unchanged, matching the paper's 1-weight-per-cycle
+  loading),
+* the stripe plan of the feature map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.cnn.layer import ConvLayer
+from repro.core.chain import ChainPartition, PEChain
+from repro.core.config import ChainConfig
+from repro.core.scan import stripe_plan
+from repro.errors import MappingError
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """How one convolutional layer is executed on the chain."""
+
+    layer: ConvLayer
+    config: ChainConfig
+    partition: ChainPartition
+    channel_pairs: int
+    passes: int
+    weights_per_pe: int
+    kmemory_refills: int
+    stripes_per_pair: List[int]
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def active_primitives(self) -> int:
+        """Primitives working on this layer."""
+        return self.partition.num_primitives
+
+    @property
+    def active_pes(self) -> int:
+        """PEs working on this layer."""
+        return self.partition.active_pes
+
+    @property
+    def spatial_utilization(self) -> float:
+        """Fraction of the chain's PEs that are active (Table II definition)."""
+        return self.partition.utilization
+
+    @property
+    def kernel_load_cycles(self) -> int:
+        """Cycles to load every kernel weight once (one weight per cycle)."""
+        return self.layer.weight_count
+
+    @property
+    def weights_fit_in_kmemory(self) -> bool:
+        """True when a whole batch's worth of per-PE weights fits kMemory."""
+        return self.kmemory_refills == 1
+
+    def describe(self) -> str:
+        """Human-readable mapping summary."""
+        return (
+            f"{self.layer.name}: {self.active_primitives} primitives "
+            f"({self.active_pes}/{self.config.num_pes} PEs, "
+            f"{self.spatial_utilization * 100:.1f} %), "
+            f"{self.channel_pairs} channel pairs in {self.passes} passes, "
+            f"{self.weights_per_pe} weights/PE "
+            f"({'fits' if self.weights_fit_in_kmemory else f'{self.kmemory_refills} refills'})"
+        )
+
+
+class LayerMapper:
+    """Builds :class:`LayerMapping` objects for a given chain configuration."""
+
+    def __init__(self, config: ChainConfig | None = None) -> None:
+        self.config = config or ChainConfig()
+        self.chain = PEChain(self.config)
+
+    def map_layer(self, layer: ConvLayer) -> LayerMapping:
+        """Map ``layer`` onto the chain or raise :class:`MappingError`."""
+        kernel_area = layer.kernel_size * layer.kernel_size
+        if kernel_area > self.config.num_pes:
+            raise MappingError(
+                f"{layer.name}: kernel {layer.kernel_size}x{layer.kernel_size} needs "
+                f"{kernel_area} PEs but the chain has only {self.config.num_pes}"
+            )
+        partition = self.chain.partition(layer.kernel_size)
+        channel_pairs = layer.channel_pairs()
+        passes = math.ceil(channel_pairs / partition.num_primitives)
+        # each pass pins one K x K kernel plane per primitive, i.e. one weight
+        # per PE; a PE therefore needs `passes` kMemory entries for the layer.
+        weights_per_pe = passes
+        refills = max(1, math.ceil(weights_per_pe / self.config.kmemory_words_per_pe))
+        return LayerMapping(
+            layer=layer,
+            config=self.config,
+            partition=partition,
+            channel_pairs=channel_pairs,
+            passes=passes,
+            weights_per_pe=weights_per_pe,
+            kmemory_refills=refills,
+            stripes_per_pair=stripe_plan(layer.out_height, layer.kernel_size),
+        )
+
+    def map_network(self, layers: List[ConvLayer]) -> List[LayerMapping]:
+        """Map every convolutional layer of a network."""
+        return [self.map_layer(layer) for layer in layers]

@@ -1,0 +1,188 @@
+"""Dual-channel processing engine (Fig. 6 of the paper) — structural model.
+
+Each PE holds:
+
+* two ifmap channel registers (``OddIF`` / ``EvenIF``) that forward the two
+  pixel streams to the next PE in the chain,
+* a kMemory register file with the stationary kernel weights and an active
+  weight register,
+* a 16-bit fixed-point MAC,
+* a two-stage partial-sum register pair toward the next PE.
+
+Timing discipline (documented here because the paper leaves it implicit):
+ifmap pixels advance one PE per cycle; partial sums advance one PE every two
+cycles (two psum registers per PE).  With weights stored in column-major
+window order this is the classical weight-stationary 1D systolic convolution
+alignment: the partial sum injected into PE 0 at cycle ``c`` accumulates the
+window whose column-scan starts at timestamp ``c``, PE ``q`` contributes its
+product at cycle ``c + 2q``, and the finished sum leaves the last PE
+``2(K^2-1)`` cycles after injection.  Steady-state throughput is one window
+per cycle and the input bandwidth is at most two pixels per cycle — the
+properties the paper's results rest on; only the constant fill latency
+differs from the idealised ``K^2`` the paper quotes.
+
+Values travelling the psum chain carry their window tag (the start
+timestamp), which lets the primitive label each finished sum with the output
+pixel it belongs to without a separate control path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hwmodel.fixed_point import FixedPointFormat
+from repro.hwmodel.mac import MacUnit
+from repro.hwmodel.memory import RegisterFile
+from repro.hwmodel.mux import Mux
+from repro.hwmodel.register import Register
+
+
+@dataclass(frozen=True)
+class TaggedPsum:
+    """A partial sum travelling along the chain, tagged with its window identity."""
+
+    value: int
+    start_timestamp: int
+
+    def accumulate(self, product: int) -> "TaggedPsum":
+        """Return a new tagged psum with ``product`` added."""
+        return TaggedPsum(value=self.value + product, start_timestamp=self.start_timestamp)
+
+
+@dataclass(frozen=True)
+class PEInputs:
+    """Combinational inputs presented to a PE during one cycle."""
+
+    even_pixel: Optional[int]
+    odd_pixel: Optional[int]
+    psum: Optional[TaggedPsum]
+    channel_select: Optional[str]  # 'even', 'odd' or None (idle)
+
+
+@dataclass(frozen=True)
+class PEOutputs:
+    """Combinational outputs of a PE during one cycle (before the clock edge)."""
+
+    even_pixel: Optional[int]
+    odd_pixel: Optional[int]
+    psum: Optional[TaggedPsum]
+
+
+class DualChannelPE:
+    """One dual-channel PE of the chain."""
+
+    def __init__(
+        self,
+        position: int,
+        kmemory_depth: int = 256,
+        operand_format: FixedPointFormat | None = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.position = position
+        self.name = name or f"pe{position}"
+        self.operand_format = operand_format or FixedPointFormat(16, 8)
+        self.kmemory = RegisterFile(depth=kmemory_depth, name=f"{self.name}.kMemory")
+        self.mac = MacUnit(operand_format=self.operand_format, name=f"{self.name}.mac")
+        self.channel_mux = Mux(num_inputs=2, name=f"{self.name}.mux")
+        # channel registers toward the next PE
+        self.even_reg = Register(reset_value=None, name=f"{self.name}.evenIF")
+        self.odd_reg = Register(reset_value=None, name=f"{self.name}.oddIF")
+        # two-stage psum delay toward the next PE
+        self.psum_reg_a = Register(reset_value=None, name=f"{self.name}.psumA")
+        self.psum_reg_b = Register(reset_value=None, name=f"{self.name}.psumB")
+        # active weight register (loaded from kMemory)
+        self.weight_reg = Register(reset_value=0, name=f"{self.name}.weight")
+        self.idle_cycles = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # weight handling
+    # ------------------------------------------------------------------ #
+    def load_weight(self, address: int, raw_value: int) -> None:
+        """Write one stationary weight into the PE's kMemory slot ``address``."""
+        self.kmemory.write(address, raw_value)
+
+    def select_weight(self, address: int) -> None:
+        """Read a kMemory slot into the active weight register (one kMemory access)."""
+        self.weight_reg.set_next(self.kmemory.read(address))
+        self.weight_reg.tick()
+
+    @property
+    def active_weight(self) -> int:
+        """Raw value currently driving the multiplier."""
+        return self.weight_reg.value
+
+    # ------------------------------------------------------------------ #
+    # per-cycle behaviour
+    # ------------------------------------------------------------------ #
+    def evaluate(self, inputs: PEInputs) -> PEOutputs:
+        """Combinational evaluation for the current cycle.
+
+        Returns the values this PE presents to the next PE *before* the clock
+        edge: the channel registers' current contents and the second psum
+        register's current contents, plus — packed in the returned psum of a
+        separate field — nothing: the freshly computed psum is staged
+        internally and only becomes visible downstream after two edges.
+        """
+        # values visible downstream this cycle (registered last cycles)
+        downstream = PEOutputs(
+            even_pixel=self.even_reg.value,
+            odd_pixel=self.odd_reg.value,
+            psum=self.psum_reg_b.value,
+        )
+
+        # stage channel registers for the next cycle
+        self.even_reg.set_next(inputs.even_pixel)
+        self.odd_reg.set_next(inputs.odd_pixel)
+
+        # MAC: consume the selected pixel and the incoming psum
+        new_psum: Optional[TaggedPsum] = None
+        if inputs.psum is not None and inputs.channel_select is not None:
+            pixel = self.channel_mux.select(
+                (inputs.even_pixel, inputs.odd_pixel),
+                0 if inputs.channel_select == "even" else 1,
+            )
+            if pixel is not None:
+                product_psum = self.mac.compute(pixel, self.weight_reg.value, inputs.psum.value)
+                new_psum = TaggedPsum(value=product_psum,
+                                      start_timestamp=inputs.psum.start_timestamp)
+                self.busy_cycles += 1
+            else:
+                # The scheduled pixel is absent (stripe edge): forward the
+                # psum unchanged so downstream tagging stays consistent; the
+                # window will be discarded as invalid at the drain.
+                new_psum = inputs.psum
+                self.idle_cycles += 1
+        else:
+            self.idle_cycles += 1
+
+        # stage the two-cycle psum delay
+        self.psum_reg_a.set_next(new_psum)
+        self.psum_reg_b.set_next(self.psum_reg_a.value)
+        return downstream
+
+    def tick(self) -> None:
+        """Latch all staged registers (call once per cycle after evaluate)."""
+        self.even_reg.tick()
+        self.odd_reg.tick()
+        self.psum_reg_a.tick()
+        self.psum_reg_b.tick()
+
+    def reset_datapath(self) -> None:
+        """Clear pipeline registers (weights and kMemory survive)."""
+        for reg in (self.even_reg, self.odd_reg, self.psum_reg_a, self.psum_reg_b):
+            reg.reset()
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def mac_count(self) -> int:
+        """MAC operations performed so far."""
+        return self.mac.mac_count
+
+    @property
+    def kmemory_reads(self) -> int:
+        """kMemory read accesses performed so far."""
+        return self.kmemory.counters.reads

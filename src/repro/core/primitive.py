@@ -1,0 +1,260 @@
+"""1D systolic primitive: a group of ``K^2`` chained dual-channel PEs (Fig. 4).
+
+The primitive computes 2D ``K x K`` convolutions over one ifmap plane with the
+kernel weights held stationary (one weight per PE, in column-major window
+order) while the ifmap pixels stream through the two channel register chains
+in column-wise scan order.  Partial sums ripple along the PEs and emerge from
+the last PE tagged with the window they belong to.
+
+The model is cycle-accurate at the register level: each call to
+:meth:`SystolicPrimitive.step` is one clock cycle.  :meth:`run_stripe` drives
+a whole stripe through the primitive and collects the valid outputs, which is
+the unit of work the cycle-level layer simulator composes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pe import DualChannelPE, PEInputs, TaggedPsum
+from repro.core.scan import ColumnScanSchedule
+from repro.errors import MappingError, SimulationError
+from repro.hwmodel.fixed_point import FixedPointFormat
+
+
+@dataclass(frozen=True)
+class PrimitiveOutput:
+    """One finished window sum leaving the primitive."""
+
+    out_row_in_stripe: int
+    out_col: int
+    raw_value: int
+    completion_cycle: int
+
+
+@dataclass
+class StripeRunResult:
+    """Everything produced by running one stripe through the primitive."""
+
+    outputs: List[PrimitiveOutput]
+    cycles: int
+    pixels_streamed: int
+    macs: int
+
+    def as_array(self, out_rows: int, out_cols: int) -> np.ndarray:
+        """Assemble the outputs into a dense ``(out_rows, out_cols)`` array of raw sums."""
+        result = np.zeros((out_rows, out_cols), dtype=np.int64)
+        for output in self.outputs:
+            if output.out_row_in_stripe < out_rows and output.out_col < out_cols:
+                result[output.out_row_in_stripe, output.out_col] = output.raw_value
+        return result
+
+
+class SystolicPrimitive:
+    """A ``K^2``-PE weight-stationary systolic convolution primitive."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        kmemory_depth: int = 256,
+        operand_format: FixedPointFormat | None = None,
+        name: str = "primitive",
+    ) -> None:
+        if kernel_size < 1:
+            raise MappingError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.name = name
+        self.operand_format = operand_format or FixedPointFormat(16, 8)
+        self.num_pes = kernel_size * kernel_size
+        self.pes: List[DualChannelPE] = [
+            DualChannelPE(
+                position=q,
+                kmemory_depth=kmemory_depth,
+                operand_format=self.operand_format,
+                name=f"{name}.pe{q}",
+            )
+            for q in range(self.num_pes)
+        ]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # kernel handling
+    # ------------------------------------------------------------------ #
+    def load_kernel(self, kernel_raw: np.ndarray, slot: int = 0) -> int:
+        """Load a ``K x K`` kernel (raw fixed-point ints) into kMemory slot ``slot``.
+
+        PE ``q`` receives the weight at window position ``(q % K, q // K)``
+        (column-major), matching the column-wise pixel scan.  Returns the
+        number of load cycles consumed (one weight per cycle, the rate the
+        paper's kernel-load times imply).
+        """
+        kernel = np.asarray(kernel_raw)
+        if kernel.shape != (self.kernel_size, self.kernel_size):
+            raise MappingError(
+                f"{self.name}: kernel shape {kernel.shape} does not match "
+                f"K={self.kernel_size}"
+            )
+        for q, pe in enumerate(self.pes):
+            row = q % self.kernel_size
+            col = q // self.kernel_size
+            pe.load_weight(slot, int(kernel[row, col]))
+        return self.num_pes
+
+    def select_kernel(self, slot: int = 0) -> None:
+        """Make the kernel stored in ``slot`` the active weights of every PE."""
+        for pe in self.pes:
+            pe.select_weight(slot)
+
+    # ------------------------------------------------------------------ #
+    # cycle-level operation
+    # ------------------------------------------------------------------ #
+    def reset_datapath(self) -> None:
+        """Flush channel and psum registers between stripes (weights survive)."""
+        for pe in self.pes:
+            pe.reset_datapath()
+        self.cycle = 0
+
+    def step(
+        self,
+        even_pixel: Optional[int],
+        odd_pixel: Optional[int],
+        inject_window: bool,
+        schedule: ColumnScanSchedule,
+    ) -> Optional[TaggedPsum]:
+        """Advance the primitive by one clock cycle.
+
+        Parameters
+        ----------
+        even_pixel / odd_pixel:
+            Raw pixel values presented on the two ifmap channels this cycle
+            (``None`` when a channel is idle).
+        inject_window:
+            Whether a fresh partial sum (a new window) is injected into the
+            first PE this cycle.
+        schedule:
+            The stripe's scan schedule — used only to derive each PE's
+            channel-parity selection from the window tag it is serving.
+
+        Returns the tagged partial sum leaving the last PE this cycle (or
+        ``None`` while the pipeline is still filling).
+        """
+        self.cycle += 1
+        timestamp = self.cycle
+        k = self.kernel_size
+
+        upstream_even: Optional[int] = even_pixel
+        upstream_odd: Optional[int] = odd_pixel
+        upstream_psum: Optional[TaggedPsum] = (
+            TaggedPsum(value=0, start_timestamp=timestamp) if inject_window else None
+        )
+
+        emerging: Optional[TaggedPsum] = None
+        for q, pe in enumerate(self.pes):
+            select: Optional[str] = None
+            if upstream_psum is not None:
+                window_col = (upstream_psum.start_timestamp - 1) // k
+                column = window_col + q // k
+                select = "even" if column % 2 == 0 else "odd"
+            outputs = pe.evaluate(
+                PEInputs(
+                    even_pixel=upstream_even,
+                    odd_pixel=upstream_odd,
+                    psum=upstream_psum,
+                    channel_select=select,
+                )
+            )
+            if q == self.num_pes - 1:
+                emerging = outputs.psum
+            upstream_even = outputs.even_pixel
+            upstream_odd = outputs.odd_pixel
+            upstream_psum = outputs.psum
+
+        for pe in self.pes:
+            pe.tick()
+        return emerging
+
+    def drain_latency(self) -> int:
+        """Cycles needed after the last injection for every window to emerge."""
+        # a window injected at cycle c finishes its last MAC at c + 2(K^2 - 1)
+        # and becomes visible downstream of the last PE two cycles later.
+        return 2 * self.num_pes + 2
+
+    def run_stripe(
+        self,
+        stripe: np.ndarray,
+        stripe_rows: Optional[int] = None,
+    ) -> StripeRunResult:
+        """Stream one stripe (2D raw-int array) through the primitive.
+
+        ``stripe`` has shape ``(rows, width)`` with ``K <= rows <= 2K-1``.
+        Returns the valid window sums together with the cycle count actually
+        spent (streaming plus drain).
+        """
+        data = np.asarray(stripe)
+        if data.ndim != 2:
+            raise SimulationError(f"{self.name}: stripe must be 2D, got shape {data.shape}")
+        rows, width = data.shape
+        if stripe_rows is not None and stripe_rows != rows:
+            raise SimulationError(
+                f"{self.name}: stripe_rows={stripe_rows} does not match array rows={rows}"
+            )
+        schedule = ColumnScanSchedule(self.kernel_size, width, stripe_rows=rows)
+        self.reset_datapath()
+
+        macs_before = self.total_macs
+        outputs: List[PrimitiveOutput] = []
+        total_stream = schedule.total_timestamps
+        total_cycles = total_stream + self.drain_latency()
+
+        for cycle in range(1, total_cycles + 1):
+            if cycle <= total_stream:
+                delivery = schedule.delivery_at(cycle)
+                even_pixel = int(data[delivery.even]) if delivery.even is not None else None
+                odd_pixel = int(data[delivery.odd]) if delivery.odd is not None else None
+                inject = True
+            else:
+                even_pixel = None
+                odd_pixel = None
+                inject = False
+            emerging = self.step(even_pixel, odd_pixel, inject, schedule)
+            if emerging is None:
+                continue
+            tag = schedule.window_ending_at(
+                emerging.start_timestamp + self.num_pes - 1
+            )
+            if tag.valid:
+                outputs.append(
+                    PrimitiveOutput(
+                        out_row_in_stripe=tag.out_row_in_stripe,
+                        out_col=tag.out_col,
+                        raw_value=emerging.value,
+                        completion_cycle=cycle,
+                    )
+                )
+
+        return StripeRunResult(
+            outputs=outputs,
+            cycles=total_cycles,
+            pixels_streamed=schedule.pixels_streamed(),
+            macs=self.total_macs - macs_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def total_macs(self) -> int:
+        """MACs performed by all PEs of the primitive so far."""
+        return sum(pe.mac_count for pe in self.pes)
+
+    @property
+    def kmemory_reads(self) -> int:
+        """kMemory reads performed by all PEs so far."""
+        return sum(pe.kmemory_reads for pe in self.pes)
+
+    def weight_snapshot(self) -> Dict[int, int]:
+        """Active weight of each PE, keyed by PE position (for tests/debug)."""
+        return {q: pe.active_weight for q, pe in enumerate(self.pes)}

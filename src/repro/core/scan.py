@@ -1,0 +1,254 @@
+"""Column-wise scan input pattern (Sec. IV.C of the paper).
+
+A *stripe* is a band of up to ``2K-1`` consecutive ifmap rows out of which up
+to ``K`` adjacent ofmap rows are computed simultaneously.  Pixels of the
+stripe are streamed column by column; within a column the pixels receive the
+timestamps shown in Fig. 5(b):
+
+    ``ts(row, col) = K * col + row + 1``
+
+so adjacent columns overlap by ``K-1`` timestamps and, in steady state, two
+pixels (one from an even-index column, one from an odd-index column) share
+every timestamp — which is exactly why the PE has two ifmap channels (OddIF /
+EvenIF in the paper's 1-based column naming; this module uses 0-based column
+parity).
+
+With kernels stored in column-major order inside the primitive, the pixels
+with timestamps ``[t - K^2 + 1, t]`` form the convolution window that ends at
+``t``; every cycle ``t >= K^2`` therefore completes one output as long as the
+window's starting row is one of the stripe's output rows.  A full stripe
+(``2K-1`` rows) keeps every cycle useful — 100 % utilization; a shorter final
+stripe produces fewer valid windows per column, which is the honest hardware
+behaviour (the analytical model optionally idealises this away the way the
+paper's numbers do).
+
+The helpers here compute the timestamp mapping, its inverse (which window
+ends at a given cycle), the per-PE channel-parity selection, and generate the
+full delivery schedule used by the cycle-level simulator's input feeder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PixelDelivery:
+    """Pixels delivered by the two ifmap channels during one timestamp slot.
+
+    ``even`` / ``odd`` are ``(row_in_stripe, col)`` coordinates (0-based
+    column parity) or ``None`` when the respective channel is idle at that
+    timestamp (stripe edges).
+    """
+
+    timestamp: int
+    even: Optional[Tuple[int, int]]
+    odd: Optional[Tuple[int, int]]
+
+    @property
+    def pixel_count(self) -> int:
+        """Number of pixels delivered in this slot (0, 1 or 2)."""
+        return int(self.odd is not None) + int(self.even is not None)
+
+
+@dataclass(frozen=True)
+class WindowTag:
+    """Identity of the convolution window completing at a given timestamp."""
+
+    timestamp: int
+    out_row_in_stripe: int
+    out_col: int
+    valid: bool
+
+
+class ColumnScanSchedule:
+    """Scan schedule for one stripe of one ifmap channel.
+
+    Parameters
+    ----------
+    kernel_size:
+        ``K``.  The timestamp period per column is always ``K`` so that at
+        most two pixels ever share a timestamp (the dual-channel invariant).
+    width:
+        Number of ifmap columns in the (padded) stripe.
+    stripe_rows:
+        Rows in the stripe: ``2K-1`` for a full stripe (the default); the
+        final stripe of a feature map may have as few as ``K`` rows, in which
+        case it produces ``stripe_rows - K + 1`` output rows.
+    """
+
+    def __init__(self, kernel_size: int, width: int, stripe_rows: Optional[int] = None) -> None:
+        if kernel_size < 1:
+            raise ConfigurationError(f"kernel_size must be >= 1, got {kernel_size}")
+        if width < kernel_size:
+            raise ConfigurationError(
+                f"stripe width {width} is smaller than the kernel {kernel_size}"
+            )
+        self.kernel_size = kernel_size
+        full_rows = 2 * kernel_size - 1
+        self.stripe_rows = stripe_rows if stripe_rows is not None else full_rows
+        if not (kernel_size <= self.stripe_rows <= full_rows):
+            raise ConfigurationError(
+                f"stripe_rows must be in [{kernel_size}, {full_rows}], got {self.stripe_rows}"
+            )
+        self.width = width
+        #: output rows produced by this stripe
+        self.out_rows = self.stripe_rows - kernel_size + 1
+
+    # ------------------------------------------------------------------ #
+    # timestamp arithmetic
+    # ------------------------------------------------------------------ #
+    def timestamp(self, row: int, col: int) -> int:
+        """Timestamp at which pixel ``(row, col)`` of the stripe is streamed in."""
+        if not (0 <= row < self.stripe_rows):
+            raise ConfigurationError(f"row {row} outside stripe of {self.stripe_rows} rows")
+        if not (0 <= col < self.width):
+            raise ConfigurationError(f"col {col} outside stripe of width {self.width}")
+        return self.kernel_size * col + row + 1
+
+    @property
+    def total_timestamps(self) -> int:
+        """Largest timestamp used by the stripe (also the streaming cycle count)."""
+        return self.timestamp(self.stripe_rows - 1, self.width - 1)
+
+    @property
+    def fill_latency(self) -> int:
+        """Timestamp of the first completed window (``K^2``)."""
+        return self.kernel_size * self.kernel_size
+
+    def pixels_at(self, timestamp: int) -> List[Tuple[int, int]]:
+        """All stripe pixels sharing ``timestamp`` (at most two)."""
+        if timestamp < 1 or timestamp > self.total_timestamps:
+            return []
+        k = self.kernel_size
+        pixels = []
+        # row = timestamp - 1 - K * col; only the two nearest columns can
+        # yield a row inside [0, stripe_rows).
+        min_col = max(0, (timestamp - self.stripe_rows) // k)
+        max_col = min(self.width - 1, (timestamp - 1) // k)
+        for col in range(min_col, max_col + 1):
+            row = timestamp - 1 - k * col
+            if 0 <= row < self.stripe_rows:
+                pixels.append((row, col))
+        return pixels
+
+    def delivery_at(self, timestamp: int) -> PixelDelivery:
+        """Channel assignment (even/odd column parity) of the pixels at ``timestamp``."""
+        even = None
+        odd = None
+        for row, col in self.pixels_at(timestamp):
+            if col % 2 == 0:
+                even = (row, col)
+            else:
+                odd = (row, col)
+        return PixelDelivery(timestamp=timestamp, even=even, odd=odd)
+
+    def deliveries(self) -> Iterator[PixelDelivery]:
+        """Iterate the full delivery schedule of the stripe in timestamp order."""
+        for timestamp in range(1, self.total_timestamps + 1):
+            yield self.delivery_at(timestamp)
+
+    # ------------------------------------------------------------------ #
+    # window arithmetic
+    # ------------------------------------------------------------------ #
+    def window_ending_at(self, timestamp: int) -> WindowTag:
+        """The convolution window whose last pixel has the given timestamp.
+
+        The window is *valid* when its starting row is one of the stripe's
+        output rows and its starting column leaves room for ``K`` columns.
+        """
+        k = self.kernel_size
+        start_ts = timestamp - k * k + 1
+        if start_ts < 1:
+            return WindowTag(timestamp, -1, -1, valid=False)
+        out_col = (start_ts - 1) // k
+        out_row = (start_ts - 1) % k
+        valid = out_row < self.out_rows and out_col + k <= self.width
+        if not valid:
+            return WindowTag(timestamp, -1, -1, valid=False)
+        return WindowTag(timestamp, out_row, out_col, valid=True)
+
+    def window_pixels(self, out_row: int, out_col: int) -> List[Tuple[int, int]]:
+        """Window pixels in column-major (scan) order for a given output position."""
+        k = self.kernel_size
+        if not (0 <= out_row < self.out_rows):
+            raise ConfigurationError(f"out_row {out_row} outside stripe outputs")
+        if not (0 <= out_col <= self.width - k):
+            raise ConfigurationError(f"out_col {out_col} leaves no room for the kernel")
+        return [(out_row + i, out_col + j) for j in range(k) for i in range(k)]
+
+    def valid_windows(self) -> List[WindowTag]:
+        """All valid windows of the stripe, in completion (timestamp) order."""
+        windows = []
+        for timestamp in range(self.fill_latency, self.total_timestamps + 1):
+            tag = self.window_ending_at(timestamp)
+            if tag.valid:
+                windows.append(tag)
+        return windows
+
+    # ------------------------------------------------------------------ #
+    # PE-level selection
+    # ------------------------------------------------------------------ #
+    def pe_column(self, pe_index: int, timestamp: int) -> Optional[int]:
+        """Absolute column of the pixel PE ``pe_index`` consumes at ``timestamp``.
+
+        PE ``q`` (0-based position inside the primitive, which is also the
+        column-major index of its stationary weight) serves, at timestamp
+        ``u``, the window whose scan started at timestamp ``u - q``; its
+        in-window column offset is ``q // K``.  Returns ``None`` while the
+        pipeline is still filling (no window has reached this PE yet).
+        """
+        k = self.kernel_size
+        if not (0 <= pe_index < k * k):
+            raise ConfigurationError(f"pe_index {pe_index} outside primitive of {k * k} PEs")
+        start_ts = timestamp - pe_index
+        if start_ts < 1:
+            return None
+        window_col = (start_ts - 1) // k
+        return window_col + pe_index // k
+
+    def pe_channel_select(self, pe_index: int, timestamp: int) -> Optional[str]:
+        """Which ifmap channel ('even'/'odd' column parity) the PE taps at ``timestamp``."""
+        column = self.pe_column(pe_index, timestamp)
+        if column is None:
+            return None
+        return "even" if column % 2 == 0 else "odd"
+
+    # ------------------------------------------------------------------ #
+    # bandwidth statistics
+    # ------------------------------------------------------------------ #
+    def pixels_streamed(self) -> int:
+        """Total pixels delivered over the stripe (= stripe_rows * width)."""
+        return self.stripe_rows * self.width
+
+    def peak_pixels_per_cycle(self) -> int:
+        """Maximum pixels delivered in any single timestamp slot."""
+        return max(delivery.pixel_count for delivery in self.deliveries())
+
+    def average_pixels_per_cycle(self) -> float:
+        """Average delivery rate over the stripe."""
+        return self.pixels_streamed() / self.total_timestamps
+
+    def utilization(self) -> float:
+        """Fraction of streaming cycles that complete a valid window."""
+        return len(self.valid_windows()) / self.total_timestamps
+
+
+def stripe_plan(out_height: int, kernel_size: int) -> List[int]:
+    """Split ``out_height`` output rows into stripes of at most ``K`` rows each.
+
+    Returns the list of output-row counts per stripe (all ``K`` except a
+    possibly-shorter final stripe), e.g. ``stripe_plan(13, 3) == [3, 3, 3, 3, 1]``.
+    """
+    if out_height < 1:
+        raise ConfigurationError(f"out_height must be >= 1, got {out_height}")
+    if kernel_size < 1:
+        raise ConfigurationError(f"kernel_size must be >= 1, got {kernel_size}")
+    full, remainder = divmod(out_height, kernel_size)
+    plan = [kernel_size] * full
+    if remainder:
+        plan.append(remainder)
+    return plan

@@ -1,0 +1,167 @@
+"""Batch execution scheduler: the timeline behind Fig. 9.
+
+The performance model gives per-layer cycle counts; this module sequences
+them the way the Chain-NN controller executes a batch — for each layer, load
+the kernels once, then stream every image of the batch — and produces an
+explicit timeline of segments.  The timeline is what Fig. 9's stacked bars
+visualise, and it exposes scheduling questions the paper touches only
+implicitly: how much of the batch time is kernel loading at small batch
+sizes, what the end-to-end latency of the *first* image is (relevant for
+real-time use), and how the per-image latency differs from the throughput-
+derived 1/fps figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.performance import PerformanceModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One contiguous activity of the chain."""
+
+    layer_name: str
+    kind: str           # "kernel_load" or "convolution"
+    start_cycle: float
+    end_cycle: float
+    images: int         # images covered by the segment (0 for kernel loads)
+
+    @property
+    def cycles(self) -> float:
+        """Duration in cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """A complete batch execution timeline."""
+
+    network_name: str
+    batch: int
+    frequency_hz: float
+    segments: List[TimelineSegment]
+
+    @property
+    def total_cycles(self) -> float:
+        """Makespan of the batch in cycles."""
+        return self.segments[-1].end_cycle if self.segments else 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        """Makespan of the batch in seconds."""
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def frames_per_second(self) -> float:
+        """Throughput implied by the schedule."""
+        return self.batch / self.total_time_s if self.total_time_s else 0.0
+
+    @property
+    def kernel_load_cycles(self) -> float:
+        """Cycles spent loading kernels over the whole batch."""
+        return sum(seg.cycles for seg in self.segments if seg.kind == "kernel_load")
+
+    @property
+    def convolution_cycles(self) -> float:
+        """Cycles spent streaming/convolving over the whole batch."""
+        return sum(seg.cycles for seg in self.segments if seg.kind == "convolution")
+
+    @property
+    def kernel_load_fraction(self) -> float:
+        """Fraction of the makespan spent loading kernels (shrinks with batch)."""
+        return self.kernel_load_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def first_image_latency_s(self) -> float:
+        """Latency until the first image has passed through every layer.
+
+        With the layer-by-layer (batch-blocked) schedule, every layer before
+        the last must process the whole batch before the next layer starts,
+        so the first image's result is ready one image-slot into the final
+        layer's convolution segment.  This is the latency cost of the
+        throughput-oriented schedule the paper uses.
+        """
+        if not self.segments:
+            return 0.0
+        last = self.segments[-1]
+        if last.kind == "convolution" and last.images:
+            first_done = last.start_cycle + last.cycles / last.images
+        else:
+            first_done = last.end_cycle
+        return first_done / self.frequency_hz
+
+    def per_layer_breakdown_ms(self) -> Dict[str, Dict[str, float]]:
+        """Layer-name -> {kernel_load_ms, convolution_ms} (the Fig. 9 bars)."""
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for segment in self.segments:
+            entry = breakdown.setdefault(segment.layer_name,
+                                         {"kernel_load_ms": 0.0, "convolution_ms": 0.0})
+            key = "kernel_load_ms" if segment.kind == "kernel_load" else "convolution_ms"
+            entry[key] += segment.cycles / self.frequency_hz * 1e3
+        return breakdown
+
+
+class BatchScheduler:
+    """Builds :class:`BatchSchedule` timelines from the performance model."""
+
+    def __init__(self, config: Optional[ChainConfig] = None,
+                 performance: Optional[PerformanceModel] = None) -> None:
+        self.config = config or ChainConfig()
+        self.performance = performance or PerformanceModel(self.config)
+
+    def schedule(self, network: Network, batch: int = 1) -> BatchSchedule:
+        """Sequence a batch through every convolutional layer.
+
+        The schedule follows the paper's execution procedure: per layer, the
+        kernels are loaded once (Sec. III.B step 2) and the whole batch is
+        streamed before moving to the next layer (which is what lets kernels
+        be loaded once per batch regardless of batch size).
+        """
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        segments: List[TimelineSegment] = []
+        cursor = 0.0
+        for layer in network.conv_layers:
+            perf = self.performance.layer_performance(layer, batch)
+            load_cycles = float(perf.kernel_load_cycles)
+            segments.append(TimelineSegment(
+                layer_name=layer.name,
+                kind="kernel_load",
+                start_cycle=cursor,
+                end_cycle=cursor + load_cycles,
+                images=0,
+            ))
+            cursor += load_cycles
+            conv_cycles = perf.conv_cycles_per_batch
+            segments.append(TimelineSegment(
+                layer_name=layer.name,
+                kind="convolution",
+                start_cycle=cursor,
+                end_cycle=cursor + conv_cycles,
+                images=batch,
+            ))
+            cursor += conv_cycles
+        return BatchSchedule(
+            network_name=network.name,
+            batch=batch,
+            frequency_hz=self.config.frequency_hz,
+            segments=segments,
+        )
+
+    def batch_sensitivity(self, network: Network, batches=(1, 4, 16, 64, 128)
+                          ) -> Dict[int, Dict[str, float]]:
+        """Batch-size sweep: fps, kernel-load share and first-image latency."""
+        results: Dict[int, Dict[str, float]] = {}
+        for batch in batches:
+            schedule = self.schedule(network, batch)
+            results[batch] = {
+                "fps": schedule.frames_per_second,
+                "kernel_load_fraction": schedule.kernel_load_fraction,
+                "first_image_latency_ms": schedule.first_image_latency_s() * 1e3,
+            }
+        return results

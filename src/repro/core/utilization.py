@@ -1,0 +1,107 @@
+"""PE-utilization arithmetic for the 1D chain (Table II of the paper).
+
+A chain of ``P`` PEs is cut into ``floor(P / K^2)`` systolic primitives for a
+kernel of size ``K``; the PEs left over at the end of the chain idle.  The
+*spatial* utilization reported in Table II is simply the fraction of PEs that
+belong to a primitive.  (Temporal utilization — how busy an active PE is —
+comes from the performance model.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.core.config import MAINSTREAM_KERNEL_SIZES
+from repro.errors import MappingError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class UtilizationEntry:
+    """One row of Table II."""
+
+    kernel_size: int
+    pes_per_primitive: int
+    active_primitives: int
+    active_pes: int
+    total_pes: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the chain's PEs that are active (0..1)."""
+        return self.active_pes / self.total_pes
+
+    @property
+    def idle_pes(self) -> int:
+        """PEs left over at the end of the chain."""
+        return self.total_pes - self.active_pes
+
+
+def primitive_size(kernel_size: int) -> int:
+    """Number of PEs a primitive needs for a ``K x K`` kernel (``K^2``)."""
+    check_positive_int("kernel_size", kernel_size)
+    return kernel_size * kernel_size
+
+
+def active_primitives(num_pes: int, kernel_size: int) -> int:
+    """How many complete primitives fit in a chain of ``num_pes`` PEs."""
+    check_positive_int("num_pes", num_pes)
+    size = primitive_size(kernel_size)
+    if size > num_pes:
+        raise MappingError(
+            f"a {kernel_size}x{kernel_size} kernel needs {size} PEs but the chain has {num_pes}"
+        )
+    return num_pes // size
+
+
+def utilization_entry(num_pes: int, kernel_size: int) -> UtilizationEntry:
+    """Utilization of a ``num_pes`` chain for one kernel size."""
+    size = primitive_size(kernel_size)
+    primitives = active_primitives(num_pes, kernel_size)
+    return UtilizationEntry(
+        kernel_size=kernel_size,
+        pes_per_primitive=size,
+        active_primitives=primitives,
+        active_pes=primitives * size,
+        total_pes=num_pes,
+    )
+
+
+def utilization_table(
+    num_pes: int = 576,
+    kernel_sizes: Sequence[int] = MAINSTREAM_KERNEL_SIZES,
+) -> Dict[int, UtilizationEntry]:
+    """Reproduce Table II for an arbitrary chain length and kernel-size list."""
+    return {k: utilization_entry(num_pes, k) for k in kernel_sizes}
+
+
+def minimum_utilization(num_pes: int, kernel_sizes: Iterable[int]) -> float:
+    """Worst-case spatial utilization over a set of kernel sizes.
+
+    The paper's headline claim is "at least 84 %" for the mainstream kernel
+    sizes on 576 PEs (the 11x11 row).
+    """
+    entries = [utilization_entry(num_pes, k) for k in kernel_sizes]
+    if not entries:
+        raise MappingError("kernel_sizes must not be empty")
+    return min(entry.utilization for entry in entries)
+
+
+def best_chain_lengths(
+    kernel_sizes: Sequence[int] = MAINSTREAM_KERNEL_SIZES,
+    low: int = 128,
+    high: int = 1152,
+    step: int = 16,
+) -> Dict[int, float]:
+    """Sweep chain lengths and report the worst-case utilization of each.
+
+    Used by the design-space-exploration example to show why 576 PEs is a
+    sweet spot (it is a multiple of 9 and 81 and nearly a multiple of 25/49).
+    """
+    results: Dict[int, float] = {}
+    for num_pes in range(low, high + 1, step):
+        if num_pes < max(primitive_size(k) for k in kernel_sizes):
+            continue
+        results[num_pes] = minimum_utilization(num_pes, kernel_sizes)
+    return results

@@ -1,0 +1,35 @@
+"""Power, energy and area models."""
+
+from repro.energy.area import AreaModel, AreaReport
+from repro.energy.components import (
+    PAPER_POWER_BREAKDOWN_W,
+    PAPER_TOTAL_POWER_W,
+    EnergyParams,
+    GateCountParams,
+)
+from repro.energy.power import PowerModel, PowerReport
+from repro.energy.technology import (
+    ST_28NM,
+    TSMC_28NM,
+    TSMC_65NM,
+    TechNode,
+    scale_efficiency,
+    scale_frequency,
+)
+
+__all__ = [
+    "AreaModel",
+    "AreaReport",
+    "EnergyParams",
+    "GateCountParams",
+    "PAPER_POWER_BREAKDOWN_W",
+    "PAPER_TOTAL_POWER_W",
+    "PowerModel",
+    "PowerReport",
+    "TechNode",
+    "TSMC_28NM",
+    "TSMC_65NM",
+    "ST_28NM",
+    "scale_efficiency",
+    "scale_frequency",
+]

@@ -1,0 +1,85 @@
+"""Gate-count / area model (the area rows of Table V).
+
+The paper reports 3751k logic gates for the 576-PE instantiation plus 352 KB
+of on-chip memory, i.e. 6.51k gates per PE — against Eyeriss's 11.02k
+gates/PE — and credits the 1.7x area efficiency to the simpler inter-PE data
+paths of the 1D chain.  The model composes the total from a per-PE component
+budget plus a small chain-level overhead (FSM controller, memory-interface
+logic), so the scaling studies (more PEs, different kernel-port counts) have
+something principled to vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import ChainConfig
+from repro.energy.components import GateCountParams
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Gate-count summary of one accelerator instantiation."""
+
+    name: str
+    num_pes: int
+    gates_per_pe: float
+    chain_gates: float
+    controller_gates: float
+    memory_interface_gates: float
+    onchip_memory_bytes: int
+
+    @property
+    def total_gates(self) -> float:
+        """Total logic gates (the paper's "Gate Count" row)."""
+        return self.chain_gates + self.controller_gates + self.memory_interface_gates
+
+    @property
+    def logic_gates_per_pe(self) -> float:
+        """Total logic divided by PE count — the area-efficiency metric of Sec. V.D."""
+        return self.total_gates / self.num_pes
+
+    def breakdown(self) -> Dict[str, float]:
+        """Gate counts by block."""
+        return {
+            "PE chain": self.chain_gates,
+            "controller": self.controller_gates,
+            "memory interface": self.memory_interface_gates,
+        }
+
+
+class AreaModel:
+    """Gate-count model for a chain configuration."""
+
+    #: chain-level overheads, independent of the PE count (FSM + config regs)
+    CONTROLLER_GATES = 24_000.0
+    #: per-primitive-port memory-interface logic (address generators, fifos)
+    PORT_INTERFACE_GATES = 800.0
+
+    def __init__(self, config: ChainConfig | None = None,
+                 gates: GateCountParams | None = None) -> None:
+        self.config = config or ChainConfig()
+        self.gates = gates or GateCountParams()
+
+    def report(self, name: str = "Chain-NN", reference_kernel: int = 3) -> AreaReport:
+        """Build the area report.
+
+        ``reference_kernel`` sets how many primitive ports the memory
+        interface is sized for (the smallest supported kernel needs the most
+        ports: ``num_pes / K^2``).
+        """
+        ports = self.config.num_pes // (reference_kernel * reference_kernel)
+        return AreaReport(
+            name=name,
+            num_pes=self.config.num_pes,
+            gates_per_pe=float(self.gates.per_pe_gates),
+            chain_gates=float(self.gates.per_pe_gates * self.config.num_pes),
+            controller_gates=self.CONTROLLER_GATES,
+            memory_interface_gates=self.PORT_INTERFACE_GATES * ports,
+            onchip_memory_bytes=self.config.onchip_memory_bytes,
+        )
+
+    def pe_breakdown(self) -> Dict[str, int]:
+        """Per-PE gate budget by component."""
+        return self.gates.breakdown()

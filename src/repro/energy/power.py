@@ -1,0 +1,193 @@
+"""Activity-based power model — regenerates Fig. 10 and the Table V power rows.
+
+Power is computed as ``activity x unit energy`` for four blocks:
+
+* **chain** — every active PE spends :attr:`EnergyParams.pe_cycle_j` per busy
+  cycle (MAC + channel/psum/pipeline registers + control share); idle PEs of
+  partially-used chains contribute only through the static fraction;
+* **kMemory** — per-PE register-file reads at the rate the traffic model
+  derives (activity factor ``1/(K*E)`` of Sec. V.C);
+* **iMemory / oMemory** — SRAM accesses at the traffic-model rates;
+* a configurable static fraction on top of the dynamic chain power.
+
+The same machinery yields the power of a workload (AlexNet for Fig. 10) or of
+a hypothetical fully-busy chain (peak power), and the energy-efficiency
+figures used in the Table V comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.performance import NetworkPerformance, PerformanceModel
+from repro.energy.components import (
+    PAPER_POWER_BREAKDOWN_W,
+    EnergyParams,
+)
+from repro.errors import ConfigurationError
+from repro.memory.traffic import NetworkTraffic, TrafficModel
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power breakdown of one workload on one configuration."""
+
+    name: str
+    components_w: Dict[str, float]
+    throughput_gops: float
+
+    @property
+    def total_w(self) -> float:
+        """Total chip power (excluding DRAM, as the paper does)."""
+        return sum(self.components_w.values())
+
+    @property
+    def gops_per_watt(self) -> float:
+        """Energy efficiency (the paper's headline 1421 GOPS/W metric)."""
+        return self.throughput_gops / self.total_w if self.total_w else 0.0
+
+    @property
+    def core_only_w(self) -> float:
+        """Power of the processor core (chain + kMemory), Fig. 10's split."""
+        return self.components_w.get("chain", 0.0) + self.components_w.get("kMemory", 0.0)
+
+    @property
+    def memory_hierarchy_w(self) -> float:
+        """Power of the iMemory/oMemory hierarchy."""
+        return self.components_w.get("iMemory", 0.0) + self.components_w.get("oMemory", 0.0)
+
+    @property
+    def core_only_gops_per_watt(self) -> float:
+        """Core-only efficiency (the paper quotes ~1.7 TOPS/W for Chain-NN)."""
+        return self.throughput_gops / self.core_only_w if self.core_only_w else 0.0
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-component share of the total (the Fig. 10 percentages)."""
+        total = self.total_w
+        if total == 0.0:
+            return {name: 0.0 for name in self.components_w}
+        return {name: watts / total for name, watts in self.components_w.items()}
+
+
+class PowerModel:
+    """Computes :class:`PowerReport` objects for a chain configuration."""
+
+    def __init__(
+        self,
+        config: ChainConfig | None = None,
+        energy: EnergyParams | None = None,
+        performance: PerformanceModel | None = None,
+        traffic: TrafficModel | None = None,
+    ) -> None:
+        self.config = config or ChainConfig()
+        self.energy = energy or EnergyParams()
+        self.performance = performance or PerformanceModel(self.config)
+        self.traffic = traffic or TrafficModel(self.config)
+
+    # ------------------------------------------------------------------ #
+    # workload power
+    # ------------------------------------------------------------------ #
+    def network_power(self, network: Network, batch: int = 4,
+                      name: str | None = None) -> PowerReport:
+        """Average power while running a network's convolutional layers."""
+        perf = self.performance.network_performance(network, batch)
+        traffic = self.traffic.network_traffic(network, batch)
+        return self._report_from(perf, traffic, name or network.name)
+
+    def _report_from(self, perf: NetworkPerformance, traffic: NetworkTraffic,
+                     name: str) -> PowerReport:
+        runtime_s = perf.total_time_per_batch_s
+        if runtime_s <= 0:
+            raise ConfigurationError("workload runtime must be positive")
+        word = self.config.word_bytes
+
+        # chain: busy PE-cycles x per-cycle energy (+ static share)
+        busy_pe_cycles = sum(
+            layer.mapping.active_pes * layer.conv_cycles_per_batch for layer in perf.layers
+        )
+        chain_dynamic_j = busy_pe_cycles * self.energy.pe_cycle_j
+        chain_w = chain_dynamic_j / runtime_s
+        chain_w *= 1.0 + self.energy.static_fraction
+
+        # memories: word accesses x per-access energy
+        kmem_words = sum(layer.kmemory_bytes for layer in traffic.layers) / word
+        imem_words = sum(layer.imemory_bytes for layer in traffic.layers) / word
+        omem_words = sum(layer.omemory_bytes for layer in traffic.layers) / word
+        kmemory_w = kmem_words * self.energy.kmemory_access_j / runtime_s
+        imemory_w = imem_words * self.energy.imemory_access_j / runtime_s
+        omemory_w = omem_words * self.energy.omemory_access_j / runtime_s
+
+        return PowerReport(
+            name=name,
+            components_w={
+                "chain": chain_w,
+                "kMemory": kmemory_w,
+                "iMemory": imemory_w,
+                "oMemory": omemory_w,
+            },
+            throughput_gops=perf.achieved_gops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # peak power (all PEs busy, no workload)
+    # ------------------------------------------------------------------ #
+    def peak_power(self, kernel_size: int = 3) -> PowerReport:
+        """Power with every primitive streaming at full rate (kernel-size dependent
+        only through the kMemory activity factor ``1/(K*E)``)."""
+        freq = self.config.frequency_hz
+        chain_w = self.config.num_pes * self.energy.pe_cycle_j * freq
+        chain_w *= 1.0 + self.energy.static_fraction
+        # steady-state per-cycle access rates
+        kmem_rate = self.config.num_pes / (kernel_size * 32.0)  # nominal E ~ 32
+        imem_rate = 2.0 * (self.config.num_pes / (kernel_size * kernel_size))
+        omem_rate = 1.0 * (self.config.num_pes / (kernel_size * kernel_size))
+        return PowerReport(
+            name=f"peak (K={kernel_size})",
+            components_w={
+                "chain": chain_w,
+                "kMemory": kmem_rate * freq * self.energy.kmemory_access_j,
+                "iMemory": imem_rate * freq * self.energy.imemory_access_j,
+                "oMemory": omem_rate * freq * self.energy.omemory_access_j,
+            },
+            throughput_gops=self.config.peak_gops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    def calibrated_to_paper(self, network: Network, batch: int = 4) -> "PowerModel":
+        """Return a new model whose unit energies reproduce Fig. 10 exactly.
+
+        Each block's unit energy is rescaled by the ratio between the paper's
+        reported power and the power this model predicts for the same
+        workload; the resulting parameters make the Table V comparison use
+        the paper's own operating point while every other experiment can
+        still run with the representative defaults.
+        """
+        baseline = self.network_power(network, batch)
+        targets = PAPER_POWER_BREAKDOWN_W
+
+        def ratio(component: str) -> float:
+            predicted = baseline.components_w[component]
+            if predicted <= 0:
+                return 1.0
+            return targets[component] / predicted
+
+        chain_ratio = ratio("chain")
+        calibrated = self.energy.with_overrides(
+            mac_op_j=self.energy.mac_op_j * chain_ratio,
+            pe_register_j=self.energy.pe_register_j * chain_ratio,
+            pe_control_j=self.energy.pe_control_j * chain_ratio,
+            kmemory_access_j=self.energy.kmemory_access_j * ratio("kMemory"),
+            imemory_access_j=self.energy.imemory_access_j * ratio("iMemory"),
+            omemory_access_j=self.energy.omemory_access_j * ratio("oMemory"),
+        )
+        return PowerModel(
+            config=self.config,
+            energy=calibrated,
+            performance=self.performance,
+            traffic=self.traffic,
+        )

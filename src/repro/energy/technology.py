@@ -1,0 +1,81 @@
+"""Technology-node parameters and inter-node scaling.
+
+Table V compares designs manufactured in different nodes (DaDianNao: ST 28 nm,
+Eyeriss: TSMC 65 nm, Chain-NN: TSMC 28 nm); the paper's footnote scales
+Eyeriss's energy efficiency to 28 nm before comparing.  This module captures
+the node parameters and the first-order scaling rules used for that kind of
+normalisation:
+
+* dynamic energy scales with ``C * V^2`` — approximated as the product of the
+  feature-size ratio (capacitance) and the square of the voltage ratio;
+* achievable frequency scales roughly with the inverse of the gate delay,
+  approximated by the feature-size ratio.
+
+These are the standard constant-field (Dennard-style) approximations; they
+are crude but match how accelerator papers of this era normalise numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A CMOS technology node."""
+
+    name: str
+    feature_nm: float
+    nominal_voltage_v: float
+
+    def __post_init__(self) -> None:
+        check_positive("feature_nm", self.feature_nm)
+        check_positive("nominal_voltage_v", self.nominal_voltage_v)
+
+    def energy_scale_to(self, target: "TechNode") -> float:
+        """Multiplier applied to dynamic energy when porting to ``target``."""
+        capacitance_ratio = target.feature_nm / self.feature_nm
+        voltage_ratio = (target.nominal_voltage_v / self.nominal_voltage_v) ** 2
+        return capacitance_ratio * voltage_ratio
+
+    def frequency_scale_to(self, target: "TechNode") -> float:
+        """Multiplier applied to achievable clock frequency when porting to ``target``."""
+        return self.feature_nm / target.feature_nm
+
+    def efficiency_scale_to(self, target: "TechNode") -> float:
+        """Multiplier applied to GOPS/W when porting to ``target``.
+
+        Energy per operation shrinks by ``energy_scale`` so efficiency grows
+        by its inverse.
+        """
+        scale = self.energy_scale_to(target)
+        if scale <= 0:
+            raise ConfigurationError("energy scale must be positive")
+        return 1.0 / scale
+
+    def area_scale_to(self, target: "TechNode") -> float:
+        """Multiplier applied to area when porting to ``target`` (quadratic in feature size)."""
+        return (target.feature_nm / self.feature_nm) ** 2
+
+
+#: the nodes appearing in Table V
+TSMC_28NM = TechNode(name="TSMC 28nm", feature_nm=28.0, nominal_voltage_v=0.9)
+TSMC_65NM = TechNode(name="TSMC 65nm", feature_nm=65.0, nominal_voltage_v=1.0)
+ST_28NM = TechNode(name="ST 28nm", feature_nm=28.0, nominal_voltage_v=0.9)
+
+
+def scale_efficiency(gops_per_watt: float, source: TechNode, target: TechNode) -> float:
+    """Scale an energy-efficiency figure between nodes.
+
+    With the default node voltages this turns Eyeriss's 245.6 GOPS/W at 65 nm
+    into roughly the 570 GOPS/W the paper's footnote quotes for 28 nm.
+    """
+    return gops_per_watt * source.efficiency_scale_to(target)
+
+
+def scale_frequency(frequency_hz: float, source: TechNode, target: TechNode) -> float:
+    """Scale an achievable clock frequency between nodes."""
+    return frequency_hz * source.frequency_scale_to(target)

@@ -1,0 +1,78 @@
+"""Run every paper experiment and collect a reproduction report.
+
+``python -m repro.experiments.runner`` prints the full paper-vs-measured
+report; :func:`run_all` returns the structured results so the benchmark
+harness and EXPERIMENTS.md generation can reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """All paper artifacts regenerated in one pass."""
+
+    table2: Table2Result
+    table4: Table4Result
+    table5: Table5Result
+    fig5: Fig5Result
+    fig9: Fig9Result
+    fig10: Fig10Result
+
+    def report(self) -> str:
+        """Concatenated human-readable report."""
+        sections = [
+            self.table2.report(),
+            self.fig5.report(),
+            self.fig9.report(),
+            self.table4.report(),
+            self.fig10.report(),
+            self.table5.report(),
+        ]
+        divider = "\n" + "=" * 78 + "\n"
+        return divider.join(sections)
+
+    def headline(self) -> Dict[str, float]:
+        """One-dictionary summary of the most important reproduced numbers."""
+        return {
+            "min_pe_utilization_pct": self.table2.minimum_efficiency_pct,
+            "fps_batch128": self.fig9.measured_fps_batch128,
+            "fps_batch4": self.fig9.measured_fps_batch4,
+            "peak_gops": self.fig9.measured_peak_gops,
+            "total_power_mw_calibrated": self.fig10.calibrated.total_w * 1e3,
+            "gops_per_watt_calibrated": self.fig10.measured_efficiency(),
+            "modelled_efficiency_ratio_min": self.table5.modelled_ratio_range[0],
+            "modelled_efficiency_ratio_max": self.table5.modelled_ratio_range[1],
+            "modelled_area_ratio": self.table5.modelled_area_ratio,
+        }
+
+
+def run_all() -> ReproductionReport:
+    """Regenerate every table and figure of the paper's evaluation."""
+    return ReproductionReport(
+        table2=run_table2(),
+        table4=run_table4(),
+        table5=run_table5(),
+        fig5=run_fig5(),
+        fig9=run_fig9(),
+        fig10=run_fig10(),
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Print the full reproduction report."""
+    print(run_all().report())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

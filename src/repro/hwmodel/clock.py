@@ -1,0 +1,49 @@
+"""Clock-domain model: frequency, period and cycle/time conversions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A single synchronous clock domain.
+
+    Chain-NN is a single-clock design; the paper's instantiation runs the
+    576-PE chain at 700 MHz (1.428 ns critical path after pipelining each PE
+    into three stages).
+    """
+
+    frequency_hz: float = 700e6
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+
+    @property
+    def period_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return self.period_s * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into wall-clock seconds."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        return cycles * self.period_s
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert a duration in seconds into (fractional) cycles."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        return seconds * self.frequency_hz
+
+    def scaled(self, factor: float) -> "ClockDomain":
+        """Return a new domain with the frequency multiplied by ``factor``."""
+        check_positive("factor", factor)
+        return ClockDomain(frequency_hz=self.frequency_hz * factor)

@@ -1,0 +1,74 @@
+"""Multiply-accumulate (MAC) unit model.
+
+Each Chain-NN PE contains one 16-bit fixed-point MAC.  The model operates on
+raw fixed-point integers, keeps per-unit operation counters (used by the
+activity-based power model) and optionally models the three-stage pipelining
+of the MAC path the paper uses to reach 700 MHz — pipelining changes latency,
+never the numerical result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hwmodel.fixed_point import FixedPointFormat
+from repro.hwmodel.register import Pipeline
+
+
+class MacUnit:
+    """A fixed-point multiply-accumulate datapath with an operation counter."""
+
+    def __init__(
+        self,
+        operand_format: FixedPointFormat | None = None,
+        accumulator_format: FixedPointFormat | None = None,
+        pipeline_stages: int = 0,
+        saturating: bool = True,
+        name: str = "mac",
+    ) -> None:
+        self.name = name
+        self.operand_format = operand_format or FixedPointFormat(16, 8)
+        # Accumulators in a K x K primitive sum at most 11 x 11 = 121 products;
+        # default to a width that never overflows for the supported kernels.
+        self.accumulator_format = accumulator_format or self.operand_format.accumulator_format(
+            self.operand_format, terms=121
+        )
+        self.saturating = saturating
+        self.pipeline = Pipeline(depth=pipeline_stages, name=f"{name}.pipe")
+        self.mac_count = 0
+
+    # ------------------------------------------------------------------ #
+    # combinational behaviour
+    # ------------------------------------------------------------------ #
+    def compute(self, input_raw: int, weight_raw: int, psum_raw: int) -> int:
+        """Return ``psum + input * weight`` in the accumulator format.
+
+        ``input_raw`` and ``weight_raw`` are raw integers in the operand
+        format; ``psum_raw`` is a raw integer already aligned to the product
+        format (operand frac bits doubled) as produced by an upstream MAC.
+        """
+        self.mac_count += 1
+        result = int(psum_raw) + int(input_raw) * int(weight_raw)
+        if self.saturating:
+            return self.accumulator_format.saturate(result)
+        return self.accumulator_format.wrap(result)
+
+    # ------------------------------------------------------------------ #
+    # pipelined behaviour
+    # ------------------------------------------------------------------ #
+    def issue(self, input_raw: int, weight_raw: int, psum_raw: int) -> None:
+        """Issue one MAC into the pipeline; the result emerges after the latency."""
+        self.pipeline.push(self.compute(input_raw, weight_raw, psum_raw))
+
+    def tick(self) -> Optional[int]:
+        """Advance the MAC pipeline one cycle, returning a completed result or None."""
+        return self.pipeline.tick()
+
+    def reset(self) -> None:
+        """Flush pipeline state (counters are preserved)."""
+        self.pipeline.reset()
+
+    @property
+    def latency(self) -> int:
+        """Cycles from issue to result (0 for a purely combinational MAC)."""
+        return self.pipeline.depth

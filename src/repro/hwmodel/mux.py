@@ -1,0 +1,44 @@
+"""Multiplexer model with selection counting.
+
+The dual-channel PE uses one mux to pick between the OddIF and EvenIF ifmap
+channels and further muxes to implement the primitive input/output ports
+(grey blocks in Fig. 6 of the paper).  The model is combinational; the
+counters feed the activity-based power model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Mux:
+    """An N-way combinational multiplexer."""
+
+    def __init__(self, num_inputs: int = 2, name: str = "mux") -> None:
+        if num_inputs < 2:
+            raise ValueError(f"a mux needs at least 2 inputs, got {num_inputs}")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.select_count = 0
+        self.toggle_count = 0
+        self._last_select: int | None = None
+
+    def select(self, inputs: Sequence[Any], sel: int) -> Any:
+        """Return ``inputs[sel]`` and update the activity counters."""
+        if len(inputs) != self.num_inputs:
+            raise ValueError(
+                f"{self.name}: expected {self.num_inputs} inputs, got {len(inputs)}"
+            )
+        if not (0 <= sel < self.num_inputs):
+            raise ValueError(f"{self.name}: select {sel} out of range 0..{self.num_inputs - 1}")
+        self.select_count += 1
+        if self._last_select is not None and self._last_select != sel:
+            self.toggle_count += 1
+        self._last_select = sel
+        return inputs[sel]
+
+    def reset(self) -> None:
+        """Clear activity counters."""
+        self.select_count = 0
+        self.toggle_count = 0
+        self._last_select = None

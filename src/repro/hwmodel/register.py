@@ -1,0 +1,157 @@
+"""Register primitives: single registers, shift registers and pipelines.
+
+These model edge-triggered storage with the usual two-phase discipline used
+in cycle simulators: during a cycle the *next* value is staged with
+:meth:`Register.set_next`, and all registers latch simultaneously when the
+simulator calls :meth:`Register.tick`.  This prevents evaluation-order
+artefacts when components are updated sequentially in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+
+class Register:
+    """A single edge-triggered register with explicit next-state staging."""
+
+    def __init__(self, reset_value: Any = 0, name: str = "reg") -> None:
+        self.name = name
+        self.reset_value = reset_value
+        self._value = reset_value
+        self._next = reset_value
+        self._next_staged = False
+        self.write_count = 0
+
+    @property
+    def value(self) -> Any:
+        """Current (registered) value visible to downstream logic."""
+        return self._value
+
+    def set_next(self, value: Any) -> None:
+        """Stage the value that will be latched at the next clock edge."""
+        self._next = value
+        self._next_staged = True
+
+    def hold(self) -> None:
+        """Explicitly keep the current value through the next edge (clock enable low)."""
+        self._next = self._value
+        self._next_staged = True
+
+    def tick(self) -> None:
+        """Latch the staged next value.  Unstaged registers hold their value."""
+        if self._next_staged:
+            if self._next != self._value:
+                self.write_count += 1
+            self._value = self._next
+        self._next_staged = False
+
+    def reset(self) -> None:
+        """Asynchronously reset to the reset value."""
+        self._value = self.reset_value
+        self._next = self.reset_value
+        self._next_staged = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Register({self.name}={self._value!r})"
+
+
+class ShiftRegister:
+    """A fixed-depth shift register (a chain of :class:`Register` stages).
+
+    ``shift_in`` stages a new head value; on :meth:`tick` every stage takes
+    the previous stage's value.  The value falling off the end is available
+    via :attr:`tail` *before* the tick (i.e. the value that will be shifted
+    out) and via the return value of :meth:`tick`.
+    """
+
+    def __init__(self, depth: int, reset_value: Any = 0, name: str = "shift") -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._stages: List[Any] = [reset_value] * depth
+        self._reset_value = reset_value
+        self._pending: Optional[Any] = None
+
+    @property
+    def stages(self) -> List[Any]:
+        """Snapshot of the register contents, index 0 = most recent input."""
+        return list(self._stages)
+
+    @property
+    def head(self) -> Any:
+        """Most recently shifted-in value currently stored."""
+        return self._stages[0]
+
+    @property
+    def tail(self) -> Any:
+        """Oldest stored value (next to be shifted out)."""
+        return self._stages[-1]
+
+    def shift_in(self, value: Any) -> None:
+        """Stage ``value`` as the next input; it enters on the next tick."""
+        self._pending = value
+
+    def tick(self) -> Any:
+        """Advance one cycle.  Returns the value shifted out of the tail."""
+        shifted_out = self._stages[-1]
+        incoming = self._pending if self._pending is not None else self._reset_value
+        self._stages = [incoming] + self._stages[:-1]
+        self._pending = None
+        return shifted_out
+
+    def reset(self) -> None:
+        """Clear all stages back to the reset value."""
+        self._stages = [self._reset_value] * self.depth
+        self._pending = None
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self._stages)
+
+
+class Pipeline:
+    """A latency-only pipeline: values emerge ``depth`` ticks after insertion.
+
+    This models the paper's three-stage pipelining of the MAC path — the
+    result is unchanged, only delayed.  ``None`` marks bubbles.
+    """
+
+    def __init__(self, depth: int, name: str = "pipe") -> None:
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._stages: List[Any] = [None] * depth
+        self._pending: Any = None
+
+    def push(self, value: Any) -> None:
+        """Insert a value into the first stage (takes effect on tick)."""
+        self._pending = value
+
+    def tick(self) -> Any:
+        """Advance one cycle and return the value leaving the pipeline.
+
+        With ``depth == 0`` the pipeline is a wire: the pushed value is
+        returned immediately.
+        """
+        if self.depth == 0:
+            out, self._pending = self._pending, None
+            return out
+        out = self._stages[-1]
+        self._stages = [self._pending] + self._stages[:-1]
+        self._pending = None
+        return out
+
+    def reset(self) -> None:
+        """Flush all stages."""
+        self._stages = [None] * self.depth
+        self._pending = None
+
+    @property
+    def occupancy(self) -> int:
+        """Number of non-bubble entries currently in flight."""
+        return sum(1 for stage in self._stages if stage is not None)

@@ -1,0 +1,84 @@
+"""A minimal cycle-driven simulation engine.
+
+Components implementing :class:`ClockedComponent` are registered with a
+:class:`CycleSimulator`; each simulated cycle the engine calls every
+component's :meth:`ClockedComponent.tick` once, in registration order, after
+which the cycle counter advances.  Components must follow the staged-update
+discipline of :mod:`repro.hwmodel.register` so that ordering does not affect
+results.
+
+The Chain-NN cycle simulator in :mod:`repro.sim.cycle` builds on this engine;
+it is also usable standalone for unit-testing individual components.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class ClockedComponent(abc.ABC):
+    """Interface for anything advanced by the simulation clock."""
+
+    @abc.abstractmethod
+    def tick(self) -> None:
+        """Advance internal state by one clock cycle."""
+
+    def reset(self) -> None:  # pragma: no cover - default is a no-op
+        """Return the component to its power-on state."""
+
+
+class CycleSimulator:
+    """Drives a set of clocked components cycle by cycle."""
+
+    def __init__(self, name: str = "sim", max_cycles: int = 100_000_000) -> None:
+        self.name = name
+        self.max_cycles = max_cycles
+        self.cycle = 0
+        self._components: List[ClockedComponent] = []
+        self._watchers: List[Callable[[int], None]] = []
+
+    def add(self, component: ClockedComponent) -> ClockedComponent:
+        """Register a component; returns it for chaining."""
+        self._components.append(component)
+        return component
+
+    def add_watcher(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with the cycle number after every tick."""
+        self._watchers.append(callback)
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise SimulationError(f"cannot step a negative number of cycles ({cycles})")
+        for _ in range(cycles):
+            if self.cycle >= self.max_cycles:
+                raise SimulationError(
+                    f"{self.name}: exceeded max_cycles={self.max_cycles}; "
+                    "likely a stalled run condition"
+                )
+            for component in self._components:
+                component.tick()
+            self.cycle += 1
+            for watcher in self._watchers:
+                watcher(self.cycle)
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: Optional[int] = None) -> int:
+        """Step until ``predicate()`` is true; returns the number of cycles run."""
+        budget = max_cycles if max_cycles is not None else self.max_cycles
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= budget:
+                raise SimulationError(
+                    f"{self.name}: predicate not satisfied within {budget} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    def reset(self) -> None:
+        """Reset the cycle counter and every registered component."""
+        self.cycle = 0
+        for component in self._components:
+            component.reset()

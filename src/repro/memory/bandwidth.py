@@ -1,0 +1,144 @@
+"""Memory-bandwidth requirement analysis.
+
+One of the paper's central arguments (abstract, Sec. IV.B) is that the serial
+input scheme gives every primitive an *invariant* input-bandwidth requirement
+— two ifmap pixels per cycle — regardless of the kernel size, and that the
+column-wise scan therefore caps the chain's aggregate SRAM bandwidth demand
+far below what a memory-centric design needs.  This module quantifies that:
+
+* per-primitive and chain-aggregate ifmap bandwidth (words/cycle and GB/s),
+* oMemory bandwidth implied by the accumulation dataflow,
+* the average DRAM bandwidth a layer needs so that off-chip transfers do not
+  become the bottleneck, compared against a configurable DRAM interface,
+* the same numbers for a hypothetical memory-centric execution of the layer
+  (every operand fetched per MAC), which is the comparison the taxonomy
+  section makes qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.mapper import LayerMapper
+from repro.core.performance import PerformanceModel
+from repro.memory.dram import DramSpec
+from repro.memory.traffic import TrafficModel
+
+
+@dataclass(frozen=True)
+class LayerBandwidth:
+    """Bandwidth requirements of one layer on the chain."""
+
+    layer_name: str
+    kernel_size: int
+    #: ifmap words per cycle entering the chain (2 per active primitive)
+    chain_input_words_per_cycle: float
+    #: oMemory words per cycle (one read + one write per completed output)
+    omemory_words_per_cycle: float
+    #: average DRAM bandwidth needed to sustain the layer (bytes/s)
+    dram_bytes_per_second: float
+    #: DRAM bandwidth a memory-centric execution would need (bytes/s)
+    memory_centric_bytes_per_second: float
+    #: sustainable bandwidth of the configured DRAM interface (bytes/s)
+    dram_capacity_bytes_per_second: float
+
+    @property
+    def chain_input_gbytes_per_second(self) -> float:
+        """Chain-side ifmap bandwidth in GB/s (16-bit words at the core clock)."""
+        return self.chain_input_words_per_cycle * 2 / 1e9
+
+    @property
+    def dram_utilisation(self) -> float:
+        """Fraction of the DRAM interface the layer needs (>1 means DRAM-bound)."""
+        return self.dram_bytes_per_second / self.dram_capacity_bytes_per_second
+
+    @property
+    def dram_bound(self) -> bool:
+        """True when the layer cannot be sustained by the DRAM interface."""
+        return self.dram_utilisation > 1.0
+
+    @property
+    def bandwidth_reduction_vs_memory_centric(self) -> float:
+        """How much less DRAM bandwidth the chain needs than a memory-centric design."""
+        if self.dram_bytes_per_second == 0:
+            return float("inf")
+        return self.memory_centric_bytes_per_second / self.dram_bytes_per_second
+
+
+class BandwidthAnalyzer:
+    """Computes :class:`LayerBandwidth` for a chain configuration."""
+
+    def __init__(self, config: ChainConfig | None = None,
+                 dram_spec: DramSpec | None = None) -> None:
+        self.config = config or ChainConfig()
+        self.dram_spec = dram_spec or DramSpec()
+        self.mapper = LayerMapper(self.config)
+        self.performance = PerformanceModel(self.config)
+        self.traffic = TrafficModel(self.config)
+
+    # ------------------------------------------------------------------ #
+    # per-layer analysis
+    # ------------------------------------------------------------------ #
+    def layer_bandwidth(self, layer: ConvLayer, batch: int = 4) -> LayerBandwidth:
+        """Bandwidth requirements of one layer."""
+        mapping = self.mapper.map_layer(layer)
+        perf = self.performance.layer_performance(layer, batch)
+        traffic = self.traffic.layer_traffic(layer, batch)
+
+        pixels_per_cycle = self.config.ifmap_channels_per_cycle
+        chain_input = pixels_per_cycle * mapping.active_primitives
+
+        # the accumulation dataflow touches oMemory twice per window and the
+        # chain completes one window per primitive per cycle in steady state
+        omemory_rate = 2.0 * mapping.active_primitives * perf.temporal_utilization
+
+        runtime = perf.total_time_per_batch_s
+        dram_rate = traffic.dram_bytes / runtime if runtime > 0 else 0.0
+
+        # memory-centric execution: every MAC reads a weight and an ifmap word
+        # and writes back a psum word at the same effective MAC rate
+        macs_per_second = layer.macs * batch / runtime if runtime > 0 else 0.0
+        memory_centric_rate = macs_per_second * 3 * self.config.word_bytes
+
+        return LayerBandwidth(
+            layer_name=layer.name,
+            kernel_size=layer.kernel_size,
+            chain_input_words_per_cycle=chain_input,
+            omemory_words_per_cycle=omemory_rate,
+            dram_bytes_per_second=dram_rate,
+            memory_centric_bytes_per_second=memory_centric_rate,
+            dram_capacity_bytes_per_second=self.dram_spec.effective_bandwidth,
+        )
+
+    def network_bandwidth(self, network: Network, batch: int = 4) -> List[LayerBandwidth]:
+        """Bandwidth requirements of every convolutional layer."""
+        return [self.layer_bandwidth(layer, batch) for layer in network.conv_layers]
+
+    # ------------------------------------------------------------------ #
+    # headline invariants
+    # ------------------------------------------------------------------ #
+    def input_bandwidth_by_kernel(self, kernel_sizes=(3, 5, 7, 9, 11)) -> Dict[int, float]:
+        """Per-primitive input bandwidth for each kernel size.
+
+        The paper's invariance claim: this is a constant (2 words/cycle with
+        dual channels) regardless of ``K``, whereas a parallel-load design
+        would need ``K`` words per cycle.
+        """
+        return {k: float(self.config.ifmap_channels_per_cycle) for k in kernel_sizes}
+
+    def summary_table(self, network: Network, batch: int = 4) -> Dict[str, Dict[str, float]]:
+        """Layer-name -> bandwidth summary rows for reporting."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for entry in self.network_bandwidth(network, batch):
+            rows[entry.layer_name] = {
+                "chain input (words/cycle)": entry.chain_input_words_per_cycle,
+                "oMemory (words/cycle)": entry.omemory_words_per_cycle,
+                "DRAM need (GB/s)": entry.dram_bytes_per_second / 1e9,
+                "DRAM util. (%)": entry.dram_utilisation * 100.0,
+                "reduction vs memory-centric (x)": entry.bandwidth_reduction_vs_memory_centric,
+            }
+        return rows

@@ -1,0 +1,79 @@
+"""Off-chip DRAM model.
+
+Chain-NN's evaluation excludes DRAM *energy* from the chip power numbers but
+reports DRAM *traffic* (Table IV) and relies on a modest bandwidth because the
+on-chip hierarchy filters most accesses.  The model tracks bytes moved,
+converts them to transfer time under a bandwidth limit, and exposes an
+energy-per-byte figure so studies that do want to include DRAM energy can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwmodel.memory import AccessCounters
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Static DRAM interface parameters.
+
+    Defaults are representative of a single-channel LPDDR3-1600 interface of
+    the paper's era: 12.8 GB/s peak, ~70 % achievable efficiency, and the
+    frequently-cited ~20 pJ/bit (160 pJ/byte) access energy at this node.
+    """
+
+    peak_bandwidth_bytes_per_s: float = 12.8e9
+    efficiency: float = 0.7
+    energy_per_byte_j: float = 160e-12
+
+    def __post_init__(self) -> None:
+        check_positive("peak_bandwidth_bytes_per_s", self.peak_bandwidth_bytes_per_s)
+        check_positive("efficiency", self.efficiency)
+        check_positive("energy_per_byte_j", self.energy_per_byte_j)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustainable bandwidth in bytes/s."""
+        return self.peak_bandwidth_bytes_per_s * self.efficiency
+
+
+class Dram:
+    """A DRAM channel with traffic counters."""
+
+    def __init__(self, spec: DramSpec | None = None, name: str = "DRAM") -> None:
+        self.spec = spec or DramSpec()
+        self.name = name
+        self.counters = AccessCounters()
+
+    def record_read(self, num_bytes: int) -> None:
+        """Account for ``num_bytes`` read from DRAM."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        self.counters.record_read(num_bytes)
+
+    def record_write(self, num_bytes: int) -> None:
+        """Account for ``num_bytes`` written to DRAM."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        self.counters.record_write(num_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved in either direction."""
+        return self.counters.total_bytes
+
+    def transfer_time_s(self, num_bytes: int | None = None) -> float:
+        """Time to move ``num_bytes`` (default: everything recorded so far)."""
+        volume = self.total_bytes if num_bytes is None else num_bytes
+        return volume / self.spec.effective_bandwidth
+
+    def energy_j(self, num_bytes: int | None = None) -> float:
+        """Access energy for ``num_bytes`` (default: everything recorded so far)."""
+        volume = self.total_bytes if num_bytes is None else num_bytes
+        return volume * self.spec.energy_per_byte_j
+
+    def reset(self) -> None:
+        """Clear the traffic counters."""
+        self.counters.reset()

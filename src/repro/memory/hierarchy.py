@@ -1,0 +1,83 @@
+"""The Chain-NN on-chip memory hierarchy (Fig. 7, right half).
+
+Three on-chip stores surround the chain:
+
+* ``iMemory`` (32 KB SRAM) buffers the ifmap stripe currently streaming in;
+* ``oMemory`` (25 KB SRAM) holds the partial ofmap tile being accumulated
+  across ifmap channels;
+* ``kMemory`` (295 KB total, distributed as 256-word register files inside
+  the PEs) holds the stationary kernels.
+
+The hierarchy object wires the three stores plus a DRAM channel together and
+gives the traffic and power models one place to read the counters from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import ChainConfig
+from repro.hwmodel.memory import Sram
+from repro.memory.dram import Dram, DramSpec
+
+
+@dataclass(frozen=True)
+class HierarchySizes:
+    """Capacities of the three on-chip stores in bytes."""
+
+    imemory_bytes: int
+    omemory_bytes: int
+    kmemory_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate on-chip storage (the paper's 352 KB)."""
+        return self.imemory_bytes + self.omemory_bytes + self.kmemory_bytes
+
+
+class MemoryHierarchy:
+    """iMemory + oMemory + (aggregate) kMemory + DRAM."""
+
+    def __init__(self, config: ChainConfig | None = None,
+                 dram_spec: DramSpec | None = None) -> None:
+        self.config = config or ChainConfig()
+        self.imemory = Sram(self.config.imemory_bytes, word_bytes=self.config.word_bytes,
+                            name="iMemory")
+        self.omemory = Sram(self.config.omemory_bytes, word_bytes=self.config.word_bytes,
+                            name="oMemory")
+        # kMemory is physically distributed over the PEs; for traffic/power
+        # accounting the aggregate view is sufficient.
+        self.kmemory = Sram(self.config.kmemory_total_bytes, word_bytes=self.config.word_bytes,
+                            name="kMemory")
+        self.dram = Dram(dram_spec)
+
+    @property
+    def sizes(self) -> HierarchySizes:
+        """Capacities of the on-chip stores."""
+        return HierarchySizes(
+            imemory_bytes=self.imemory.capacity_bytes,
+            omemory_bytes=self.omemory.capacity_bytes,
+            kmemory_bytes=self.kmemory.capacity_bytes,
+        )
+
+    def onchip_traffic_bytes(self) -> Dict[str, int]:
+        """Bytes moved per on-chip store since the last reset."""
+        return {
+            "iMemory": self.imemory.counters.total_bytes,
+            "oMemory": self.omemory.counters.total_bytes,
+            "kMemory": self.kmemory.counters.total_bytes,
+        }
+
+    def traffic_bytes(self) -> Dict[str, int]:
+        """Bytes moved per store including DRAM."""
+        traffic = self.onchip_traffic_bytes()
+        traffic["DRAM"] = self.dram.total_bytes
+        return traffic
+
+    def reset(self) -> None:
+        """Clear every counter in the hierarchy."""
+        self.imemory.reset()
+        self.omemory.reset()
+        self.kmemory.reset()
+        self.dram.reset()

@@ -1,0 +1,20 @@
+"""Simulators: functional (dataflow-level) and cycle-accurate (register-level)."""
+
+from repro.sim.cycle import CycleAccurateChainSimulator, CycleSimResult, CycleSimStats
+from repro.sim.functional import (
+    FunctionalChainSimulator,
+    FunctionalRunResult,
+    FunctionalRunStats,
+)
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "CycleAccurateChainSimulator",
+    "CycleSimResult",
+    "CycleSimStats",
+    "FunctionalChainSimulator",
+    "FunctionalRunResult",
+    "FunctionalRunStats",
+    "TraceEvent",
+    "TraceLog",
+]

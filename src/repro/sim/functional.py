@@ -1,0 +1,188 @@
+"""Functional (dataflow-level) simulation of a layer on the chain.
+
+This simulator walks the exact same decomposition the hardware uses — channel
+pairs, stripes, column-wise scan windows — but evaluates each window with
+NumPy instead of ticking PE registers.  It answers the question *"does the
+Chain-NN dataflow enumerate exactly the right windows and accumulate them
+into the right output pixels?"* for layers of any size in reasonable time,
+and provides the golden intermediate results the cycle-accurate simulator is
+checked against.
+
+Strided layers use the stream-everything-discard policy discussed in
+DESIGN.md: the scan runs at stride-1 cadence over the padded input and
+windows that do not fall on the stride grid are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.reference import conv2d_direct, pad_input
+from repro.core.config import ChainConfig
+from repro.core.mapper import LayerMapper
+from repro.core.scan import ColumnScanSchedule
+from repro.errors import SimulationError, WorkloadError
+
+
+@dataclass
+class FunctionalRunStats:
+    """Counters collected while functionally simulating one layer."""
+
+    windows_evaluated: int = 0
+    windows_kept: int = 0
+    stripes_processed: int = 0
+    pairs_processed: int = 0
+    pixels_streamed: int = 0
+    primitive_cycles: int = 0
+
+    @property
+    def stride_discard_fraction(self) -> float:
+        """Fraction of evaluated windows discarded by the stride filter."""
+        if self.windows_evaluated == 0:
+            return 0.0
+        return 1.0 - self.windows_kept / self.windows_evaluated
+
+
+@dataclass
+class FunctionalRunResult:
+    """Output of a functional layer simulation."""
+
+    layer: ConvLayer
+    ofmaps: np.ndarray
+    stats: FunctionalRunStats
+    chain_cycles_estimate: float
+
+    def max_abs_error_vs_reference(self, ifmaps: np.ndarray, weights: np.ndarray) -> float:
+        """Largest absolute difference against the NumPy reference convolution."""
+        reference = conv2d_direct(self.layer, ifmaps, weights)
+        return float(np.max(np.abs(reference - self.ofmaps))) if reference.size else 0.0
+
+
+class FunctionalChainSimulator:
+    """Dataflow-level simulator of the Chain-NN execution of a conv layer."""
+
+    def __init__(self, config: Optional[ChainConfig] = None) -> None:
+        self.config = config or ChainConfig()
+        self.mapper = LayerMapper(self.config)
+
+    # ------------------------------------------------------------------ #
+    # stripe helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stripe_bases(padded_height: int, kernel_size: int) -> List[int]:
+        """Starting input rows of the stride-1 stripes covering the feature map."""
+        out_rows_stride1 = padded_height - kernel_size + 1
+        bases = list(range(0, out_rows_stride1, kernel_size))
+        return bases
+
+    def _process_pair(
+        self,
+        layer: ConvLayer,
+        plane: np.ndarray,
+        kernel: np.ndarray,
+        out_plane: np.ndarray,
+        stats: FunctionalRunStats,
+    ) -> None:
+        """Convolve one ifmap plane with one kernel plane, accumulating into out_plane."""
+        k = layer.kernel_size
+        stride = layer.stride
+        padded_height, padded_width = plane.shape
+        kernel_col_major = kernel  # indexed [i, j] directly below
+        for base in self._stripe_bases(padded_height, k):
+            rows = min(2 * k - 1, padded_height - base)
+            if rows < k:
+                continue
+            schedule = ColumnScanSchedule(k, padded_width, stripe_rows=rows)
+            stripe = plane[base:base + rows]
+            stats.stripes_processed += 1
+            stats.pixels_streamed += schedule.pixels_streamed()
+            stats.primitive_cycles += schedule.total_timestamps
+            for tag in schedule.valid_windows():
+                stats.windows_evaluated += 1
+                in_row = base + tag.out_row_in_stripe
+                in_col = tag.out_col
+                if in_row % stride or in_col % stride:
+                    continue
+                out_row = in_row // stride
+                out_col = in_col // stride
+                if out_row >= out_plane.shape[0] or out_col >= out_plane.shape[1]:
+                    continue
+                window = stripe[
+                    tag.out_row_in_stripe:tag.out_row_in_stripe + k,
+                    tag.out_col:tag.out_col + k,
+                ]
+                out_plane[out_row, out_col] += float(np.sum(window * kernel_col_major))
+                stats.windows_kept += 1
+        stats.pairs_processed += 1
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_layer(self, layer: ConvLayer, ifmaps: np.ndarray,
+                  weights: np.ndarray) -> FunctionalRunResult:
+        """Simulate one layer; returns the ofmaps and the dataflow statistics."""
+        ifmaps = np.asarray(ifmaps, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if ifmaps.shape != layer.in_shape:
+            raise WorkloadError(
+                f"{layer.name}: ifmaps shape {ifmaps.shape} does not match {layer.in_shape}"
+            )
+        expected_w = (layer.out_channels, layer.in_channels_per_group,
+                      layer.kernel_size, layer.kernel_size)
+        if weights.shape != expected_w:
+            raise WorkloadError(
+                f"{layer.name}: weights shape {weights.shape} does not match {expected_w}"
+            )
+
+        mapping = self.mapper.map_layer(layer)
+        padded = pad_input(ifmaps, layer.padding)
+        ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
+        stats = FunctionalRunStats()
+
+        in_per_group = layer.in_channels_per_group
+        out_per_group = layer.out_channels_per_group
+        for group in range(layer.groups):
+            for m_local in range(out_per_group):
+                m = group * out_per_group + m_local
+                for c_local in range(in_per_group):
+                    c = group * in_per_group + c_local
+                    self._process_pair(
+                        layer,
+                        padded[c],
+                        weights[m, c_local],
+                        ofmaps[m],
+                        stats,
+                    )
+
+        if stats.pairs_processed != mapping.channel_pairs:
+            raise SimulationError(
+                f"{layer.name}: processed {stats.pairs_processed} pairs, "
+                f"expected {mapping.channel_pairs}"
+            )
+        chain_cycles = stats.primitive_cycles / mapping.active_primitives
+        return FunctionalRunResult(
+            layer=layer,
+            ofmaps=ofmaps,
+            stats=stats,
+            chain_cycles_estimate=chain_cycles,
+        )
+
+    def run_and_check(self, layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
+                      tolerance: float = 1e-9) -> Dict[str, float]:
+        """Run the simulation and compare against the reference convolution."""
+        result = self.run_layer(layer, ifmaps, weights)
+        error = result.max_abs_error_vs_reference(ifmaps, weights)
+        if error > tolerance:
+            raise SimulationError(
+                f"{layer.name}: functional simulation deviates from reference "
+                f"(max abs error {error:.3e} > {tolerance:.3e})"
+            )
+        return {
+            "max_abs_error": error,
+            "windows_kept": float(result.stats.windows_kept),
+            "chain_cycles": result.chain_cycles_estimate,
+        }

@@ -1,0 +1,123 @@
+"""Unit constants, conversions and human-readable formatting.
+
+The accelerator models deal in a handful of physical quantities: operation
+counts (GOPS), power (W), energy (J), time (s), frequency (Hz) and data
+volumes (bytes).  Keeping the conversion helpers in one module avoids the
+classic off-by-1000 errors between SI (MB) and binary (MiB) units — the paper
+reports on-chip memory in KB (binary) and traffic in MByte (decimal in the
+text, but consistent with binary within round-off); we use binary KiB/MiB for
+capacities and decimal MB for traffic, and expose both converters.
+"""
+
+from __future__ import annotations
+
+#: SI prefixes
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+TERA = 1_000_000_000_000
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+#: binary prefixes (capacities)
+KIBI = 1024
+MEBI = 1024 * 1024
+GIBI = 1024 * 1024 * 1024
+
+
+def gops(operations: float, seconds: float) -> float:
+    """Return giga-operations per second for ``operations`` done in ``seconds``.
+
+    ``operations`` counts individual operations (a MAC counts as two: one
+    multiply plus one add), matching how the paper reports 806.4 GOPS for
+    576 PEs x 700 MHz x 2 ops.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return operations / seconds / GIGA
+
+
+def gops_per_watt(gops_value: float, watts: float) -> float:
+    """Return energy efficiency in GOPS/W."""
+    if watts <= 0:
+        raise ValueError(f"watts must be positive, got {watts}")
+    return gops_value / watts
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def bytes_to_mib(num_bytes: float) -> float:
+    """Convert a byte count to binary mebibytes (MiB)."""
+    return num_bytes / MEBI
+
+
+def bytes_to_kib(num_bytes: float) -> float:
+    """Convert a byte count to binary kibibytes (KiB)."""
+    return num_bytes / KIBI
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert a byte count to decimal megabytes (MB)."""
+    return num_bytes / MEGA
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with an appropriate binary suffix."""
+    value = float(num_bytes)
+    for suffix, scale in (("GiB", GIBI), ("MiB", MEBI), ("KiB", KIBI)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with ms/us/ns granularity."""
+    value = float(seconds)
+    if abs(value) >= 1.0:
+        return f"{value:.3f} s"
+    if abs(value) >= MILLI:
+        return f"{value / MILLI:.2f} ms"
+    if abs(value) >= MICRO:
+        return f"{value / MICRO:.2f} us"
+    return f"{value / NANO:.2f} ns"
+
+
+def format_frequency(hertz: float) -> str:
+    """Render a clock frequency (e.g. ``700.0 MHz``)."""
+    value = float(hertz)
+    if abs(value) >= GIGA:
+        return f"{value / GIGA:.2f} GHz"
+    if abs(value) >= MEGA:
+        return f"{value / MEGA:.1f} MHz"
+    if abs(value) >= KILO:
+        return f"{value / KILO:.1f} kHz"
+    return f"{value:.0f} Hz"
+
+
+def format_power(watts: float) -> str:
+    """Render power (e.g. ``567.5 mW``)."""
+    value = float(watts)
+    if abs(value) >= 1.0:
+        return f"{value:.2f} W"
+    return f"{value / MILLI:.1f} mW"
+
+
+def format_energy(joules: float) -> str:
+    """Render energy with J/mJ/uJ/nJ/pJ granularity."""
+    value = float(joules)
+    for suffix, scale in (("J", 1.0), ("mJ", MILLI), ("uJ", MICRO), ("nJ", NANO), ("pJ", PICO)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {suffix}"
+    return f"{value / PICO:.4f} pJ"
+
+
+def format_gops(gops_value: float) -> str:
+    """Render a throughput in GOPS or TOPS."""
+    if abs(gops_value) >= 1000.0:
+        return f"{gops_value / 1000.0:.2f} TOPS"
+    return f"{gops_value:.1f} GOPS"

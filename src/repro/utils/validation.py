@@ -1,0 +1,49 @@
+"""Small argument-validation helpers used across configuration dataclasses.
+
+All helpers raise :class:`repro.errors.ConfigurationError` so that invalid
+user input surfaces as a library error rather than a bare ``ValueError`` deep
+inside a model.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: Real) -> None:
+    """Ensure ``value`` is a strictly positive real number."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+def check_non_negative(name: str, value: Real) -> None:
+    """Ensure ``value`` is a real number >= 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+
+def check_positive_int(name: str, value: int) -> None:
+    """Ensure ``value`` is a strictly positive integer."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value}")
+
+
+def check_in_range(name: str, value: Real, low: Real, high: Real) -> None:
+    """Ensure ``low <= value <= high``."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_probability(name: str, value: Real) -> None:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,62 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.layer import ConvLayer
+from repro.cnn.zoo import alexnet
+from repro.core.config import ChainConfig
+
+
+@pytest.fixture
+def paper_config() -> ChainConfig:
+    """The 576-PE, 700 MHz configuration evaluated in the paper."""
+    return ChainConfig.paper_default()
+
+
+@pytest.fixture
+def small_config() -> ChainConfig:
+    """A small chain used by cycle-level tests (fast to simulate)."""
+    return ChainConfig(num_pes=36)
+
+
+@pytest.fixture
+def generator() -> WorkloadGenerator:
+    """Deterministic synthetic-tensor generator."""
+    return WorkloadGenerator(seed=2017)
+
+
+@pytest.fixture
+def tiny_layer() -> ConvLayer:
+    """A small stride-1 layer usable by the cycle-accurate simulator."""
+    return ConvLayer("tiny", in_channels=2, out_channels=3, in_height=9, in_width=9,
+                     kernel_size=3, padding=1)
+
+
+@pytest.fixture
+def strided_layer() -> ConvLayer:
+    """A small strided layer (conv1-like behaviour at toy scale)."""
+    return ConvLayer("strided", in_channels=2, out_channels=2, in_height=13, in_width=13,
+                     kernel_size=3, stride=2)
+
+
+@pytest.fixture
+def grouped_layer() -> ConvLayer:
+    """A small grouped layer (conv2-like behaviour at toy scale)."""
+    return ConvLayer("grouped", in_channels=4, out_channels=4, in_height=8, in_width=8,
+                     kernel_size=3, padding=1, groups=2)
+
+
+@pytest.fixture
+def alexnet_network():
+    """The AlexNet layer geometry used throughout the evaluation."""
+    return alexnet()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy RNG for ad-hoc randomisation inside tests."""
+    return np.random.default_rng(20170327)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.pes == 576
+        assert args.frequency_mhz == 700.0
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(["run", "alexnet", "--batch", "8", "--traffic"])
+        assert args.network == "alexnet"
+        assert args.batch == 8
+        assert args.traffic
+
+    def test_rejects_unknown_network(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "resnet50"])
+
+    def test_sweep_axes(self):
+        args = build_parser().parse_args(["sweep", "frequency"])
+        assert args.axis == "frequency"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "voltage"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "806.4" in out and "K=11" in out
+
+    def test_info_with_custom_chain(self, capsys):
+        assert main(["--pes", "288", "--frequency-mhz", "350", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "288 PEs" in out
+
+    def test_run_lenet(self, capsys):
+        assert main(["run", "lenet5", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LeNet-5" in out and "fps" in out
+
+    def test_run_with_traffic(self, capsys):
+        assert main(["run", "cifar10", "--batch", "2", "--traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory traffic" in out
+
+    def test_sweep_batch(self, capsys):
+        assert main(["sweep", "batch", "--network", "lenet5"]) == 0
+        assert "fps vs batch size" in capsys.readouterr().out
+
+    def test_sweep_pes(self, capsys):
+        assert main(["sweep", "pes", "--network", "lenet5", "--batch", "4"]) == 0
+        assert "pes sweep" in capsys.readouterr().out
+
+    def test_verify(self, capsys):
+        assert main(["verify"]) == 0
+        assert "PASSED" in capsys.readouterr().out

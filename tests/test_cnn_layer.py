@@ -1,0 +1,125 @@
+"""Tests for ConvLayer / PoolingLayer / FullyConnectedLayer shape math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.layer import ConvLayer, FullyConnectedLayer, PoolingLayer
+from repro.errors import WorkloadError
+
+
+class TestConvLayerGeometry:
+    def test_alexnet_conv1_output_size(self):
+        layer = ConvLayer("conv1", 3, 96, 227, 227, kernel_size=11, stride=4)
+        assert layer.out_height == 55
+        assert layer.out_width == 55
+
+    def test_alexnet_conv2_output_size_with_padding_and_groups(self):
+        layer = ConvLayer("conv2", 96, 256, 27, 27, kernel_size=5, padding=2, groups=2)
+        assert layer.out_height == 27
+        assert layer.in_channels_per_group == 48
+        assert layer.out_channels_per_group == 128
+
+    def test_padded_dimensions(self):
+        layer = ConvLayer("c", 1, 1, 13, 13, kernel_size=3, padding=1)
+        assert layer.padded_height == 15
+        assert layer.padded_width == 15
+
+    def test_out_shape_and_in_shape(self):
+        layer = ConvLayer("c", 4, 8, 10, 12, kernel_size=3)
+        assert layer.in_shape == (4, 10, 12)
+        assert layer.out_shape == (8, 8, 10)
+
+    def test_describe_mentions_name_and_kernel(self):
+        layer = ConvLayer("convX", 3, 8, 32, 32, kernel_size=5, padding=2)
+        text = layer.describe()
+        assert "convX" in text and "K=5" in text
+
+
+class TestConvLayerComplexity:
+    def test_alexnet_total_macs(self):
+        # the paper quotes ~666 million MACs for AlexNet's five conv layers
+        from repro.cnn.zoo import alexnet
+
+        total = alexnet().total_conv_macs
+        assert total == pytest.approx(666e6, rel=0.01)
+
+    def test_macs_per_output(self):
+        layer = ConvLayer("c", 16, 8, 12, 12, kernel_size=3, groups=2)
+        assert layer.macs_per_output == 3 * 3 * 8
+
+    def test_operations_is_twice_macs(self):
+        layer = ConvLayer("c", 3, 4, 8, 8, kernel_size=3)
+        assert layer.operations == 2 * layer.macs
+
+    def test_weight_count_with_groups(self):
+        layer = ConvLayer("conv2", 96, 256, 27, 27, kernel_size=5, padding=2, groups=2)
+        assert layer.weight_count == 5 * 5 * 48 * 256  # 307200, as used in Fig. 9
+
+    def test_channel_pairs(self):
+        layer = ConvLayer("conv3", 256, 384, 13, 13, kernel_size=3, padding=1)
+        assert layer.channel_pairs() == 256 * 384
+
+    def test_byte_footprints(self):
+        layer = ConvLayer("c", 2, 4, 8, 8, kernel_size=3)
+        assert layer.input_bytes() == 2 * 8 * 8 * 2
+        assert layer.output_bytes() == 4 * 6 * 6 * 2
+        assert layer.weight_bytes() == 4 * 2 * 9 * 2
+
+    def test_scaled_copy(self):
+        layer = ConvLayer("c", 2, 4, 8, 8, kernel_size=3)
+        wider = layer.scaled(in_height=16, in_width=16)
+        assert wider.out_height == 14
+        assert layer.out_height == 6  # original untouched
+
+
+class TestConvLayerValidation:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 0, 4, 8, 8, kernel_size=3)
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 2, 4, 8, 8, kernel_size=0)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 2, 4, 8, 8, kernel_size=3, padding=-1)
+
+    def test_rejects_group_mismatch(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 3, 4, 8, 8, kernel_size=3, groups=2)
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("bad", 1, 1, 4, 4, kernel_size=7)
+
+
+class TestPoolingLayer:
+    def test_output_size(self):
+        pool = PoolingLayer("pool1", channels=96, in_height=55, in_width=55,
+                            kernel_size=3, stride=2)
+        assert pool.out_height == 27
+        assert pool.out_width == 27
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(WorkloadError):
+            PoolingLayer("p", 1, 8, 8, 2, 2, mode="median")
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(WorkloadError):
+            PoolingLayer("p", 0, 8, 8, 2, 2)
+
+
+class TestFullyConnectedLayer:
+    def test_mac_count(self):
+        fc = FullyConnectedLayer("fc6", in_features=9216, out_features=4096)
+        assert fc.macs == 9216 * 4096
+
+    def test_as_conv_lowering(self):
+        fc = FullyConnectedLayer("fc", in_features=128, out_features=10)
+        conv = fc.as_conv()
+        assert conv.kernel_size == 1
+        assert conv.macs == fc.macs
+
+    def test_rejects_bad_features(self):
+        with pytest.raises(WorkloadError):
+            FullyConnectedLayer("fc", in_features=0, out_features=10)

@@ -1,0 +1,127 @@
+"""Tests for the Network container and the network zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.network import Network, validate_chaining
+from repro.cnn.zoo import (
+    NETWORKS,
+    alexnet,
+    cifar10_quick,
+    get_network,
+    lenet5,
+    tiny_test_network,
+    vgg16,
+)
+from repro.errors import WorkloadError
+
+
+class TestNetworkContainer:
+    def test_add_and_iterate(self):
+        net = Network("test")
+        layer = ConvLayer("c1", 1, 2, 8, 8, kernel_size=3)
+        net.add(layer)
+        assert len(net) == 1
+        assert list(net) == [layer]
+
+    def test_conv_layer_lookup(self):
+        net = tiny_test_network()
+        assert net.conv_layer("convA").name == "convA"
+        with pytest.raises(WorkloadError):
+            net.conv_layer("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            Network("")
+
+    def test_summary_lists_all_conv_layers(self):
+        net = alexnet()
+        text = net.summary()
+        for layer in net.conv_layers:
+            assert layer.name in text
+
+    def test_validate_chaining_accepts_vgg_block(self):
+        net = vgg16()
+        block = [net.conv_layer("conv3_1"), net.conv_layer("conv3_2"), net.conv_layer("conv3_3")]
+        validate_chaining(block)
+
+    def test_validate_chaining_rejects_mismatch(self):
+        a = ConvLayer("a", 3, 8, 16, 16, kernel_size=3, padding=1)
+        b = ConvLayer("b", 16, 8, 16, 16, kernel_size=3, padding=1)
+        with pytest.raises(WorkloadError):
+            validate_chaining([a, b])
+
+
+class TestAlexNet:
+    def test_five_conv_layers(self):
+        assert len(alexnet().conv_layers) == 5
+
+    def test_layer_geometry_matches_the_paper(self):
+        net = alexnet()
+        conv1 = net.conv_layer("conv1")
+        assert (conv1.kernel_size, conv1.stride, conv1.out_height) == (11, 4, 55)
+        conv3 = net.conv_layer("conv3")
+        assert (conv3.kernel_size, conv3.out_height, conv3.in_channels) == (3, 13, 256)
+
+    def test_macs_per_image_is_666_million(self):
+        assert alexnet().total_conv_macs == pytest.approx(666e6, rel=0.01)
+
+    def test_total_weights(self):
+        # conv1..conv5 = 34848 + 307200 + 884736 + 663552 + 442368
+        assert alexnet().total_conv_weights == 2_332_704
+
+    def test_grouped_layers(self):
+        net = alexnet()
+        assert net.conv_layer("conv2").groups == 2
+        assert net.conv_layer("conv3").groups == 1
+        assert net.conv_layer("conv4").groups == 2
+        assert net.conv_layer("conv5").groups == 2
+
+
+class TestVgg16:
+    def test_thirteen_conv_layers(self):
+        assert len(vgg16().conv_layers) == 13
+
+    def test_all_kernels_are_3x3(self):
+        assert all(layer.kernel_size == 3 for layer in vgg16().conv_layers)
+
+    def test_feature_map_sizes_halve_per_block(self):
+        net = vgg16()
+        assert net.conv_layer("conv1_1").in_height == 224
+        assert net.conv_layer("conv2_1").in_height == 112
+        assert net.conv_layer("conv5_3").in_height == 14
+
+    def test_vgg_macs_are_an_order_of_magnitude_above_alexnet(self):
+        assert vgg16().total_conv_macs > 10 * alexnet().total_conv_macs
+
+
+class TestSmallNetworks:
+    def test_lenet_layers(self):
+        net = lenet5()
+        assert len(net.conv_layers) == 2
+        assert net.conv_layer("conv1").in_height == 28
+
+    def test_cifar_layers(self):
+        net = cifar10_quick()
+        assert len(net.conv_layers) == 3
+        assert all(layer.kernel_size == 5 for layer in net.conv_layers)
+
+    def test_tiny_network_is_chainable(self):
+        net = tiny_test_network()
+        conv_a, conv_b = net.conv_layers
+        assert conv_a.out_channels == conv_b.in_channels
+
+
+class TestRegistry:
+    def test_get_network_by_name(self):
+        assert get_network("AlexNet").name == "AlexNet"
+        assert get_network("vgg16").name == "VGG-16"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_network("resnet50")
+
+    def test_registry_contents(self):
+        assert set(NETWORKS) == {"alexnet", "vgg16", "lenet5", "cifar10"}

@@ -1,0 +1,155 @@
+"""Tests for the float-to-fixed simulator and the synthetic workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn.generator import TensorStats, WorkloadGenerator
+from repro.cnn.layer import ConvLayer
+from repro.cnn.quantize import (
+    bit_width_sweep,
+    choose_format,
+    evaluate_layer_quantization,
+    quantize_layer_tensors,
+)
+from repro.cnn.tensor import FeatureMap
+from repro.errors import QuantizationError, WorkloadError
+
+
+@pytest.fixture
+def layer():
+    return ConvLayer("q", in_channels=3, out_channels=4, in_height=10, in_width=10,
+                     kernel_size=3, padding=1)
+
+
+class TestChooseFormat:
+    def test_small_values_get_many_fraction_bits(self):
+        fmt = choose_format(np.array([0.1, -0.2, 0.05]), total_bits=16)
+        assert fmt.frac_bits >= 14
+
+    def test_large_values_get_integer_bits(self):
+        fmt = choose_format(np.array([100.0, -50.0]), total_bits=16)
+        assert fmt.max_value >= 100.0
+
+    def test_zero_tensor(self):
+        fmt = choose_format(np.zeros(5), total_bits=16)
+        assert fmt.frac_bits == 15
+
+    def test_unrepresentable_range_raises(self):
+        with pytest.raises(QuantizationError):
+            choose_format(np.array([1e9]), total_bits=8)
+
+    def test_empty_tensor_raises(self):
+        with pytest.raises(QuantizationError):
+            choose_format(np.array([]))
+
+
+class TestLayerQuantization:
+    def test_no_saturation_for_chosen_format(self, layer, generator):
+        ifmaps, weights = generator.layer_pair(layer)
+        q_ifmaps, q_weights, ifmap_fmt, weight_fmt = quantize_layer_tensors(ifmaps, weights)
+        assert np.max(np.abs(q_ifmaps)) <= ifmap_fmt.max_value
+        assert np.max(np.abs(q_weights)) <= weight_fmt.max_value
+
+    def test_16_bit_error_is_small(self, layer, generator):
+        ifmaps, weights = generator.layer_pair(layer)
+        result = evaluate_layer_quantization(layer, ifmaps, weights, total_bits=16)
+        assert result.relative_rmse < 1e-2
+        assert result.sqnr_db > 40.0
+
+    def test_wider_words_reduce_error(self, layer, generator):
+        ifmaps, weights = generator.layer_pair(layer)
+        sweep = bit_width_sweep(layer, ifmaps, weights, bit_widths=(8, 12, 16))
+        assert sweep[8].rmse >= sweep[12].rmse >= sweep[16].rmse
+
+    def test_result_records_layer_name(self, layer, generator):
+        ifmaps, weights = generator.layer_pair(layer)
+        result = evaluate_layer_quantization(layer, ifmaps, weights)
+        assert result.layer_name == "q"
+
+
+class TestWorkloadGenerator:
+    def test_weight_shape(self, layer):
+        gen = WorkloadGenerator(seed=1)
+        assert gen.weights(layer).shape == (4, 3, 3, 3)
+
+    def test_grouped_weight_shape(self):
+        layer = ConvLayer("g", 4, 6, 8, 8, kernel_size=3, groups=2)
+        gen = WorkloadGenerator(seed=1)
+        assert gen.weights(layer).shape == (6, 2, 3, 3)
+
+    def test_ifmaps_shape_and_nonnegativity(self, layer):
+        gen = WorkloadGenerator(seed=1)
+        ifmaps = gen.ifmaps(layer)
+        assert ifmaps.shape == layer.in_shape
+        assert np.all(ifmaps >= 0.0)
+
+    def test_sparsity_fraction(self, layer):
+        gen = WorkloadGenerator(seed=1)
+        ifmaps = gen.ifmaps(layer, sparsity=0.5)
+        zero_fraction = float(np.mean(ifmaps == 0.0))
+        assert 0.35 < zero_fraction < 0.65
+
+    def test_invalid_sparsity(self, layer):
+        gen = WorkloadGenerator(seed=1)
+        with pytest.raises(WorkloadError):
+            gen.ifmaps(layer, sparsity=1.5)
+
+    def test_determinism_with_same_seed(self, layer):
+        a = WorkloadGenerator(seed=42).weights(layer)
+        b = WorkloadGenerator(seed=42).weights(layer)
+        np.testing.assert_array_equal(a, b)
+
+    def test_reseed_restores_sequence(self, layer):
+        gen = WorkloadGenerator(seed=9)
+        first = gen.weights(layer)
+        gen.reseed(9)
+        np.testing.assert_array_equal(first, gen.weights(layer))
+
+    def test_bias_shape(self, layer):
+        assert WorkloadGenerator(1).bias(layer).shape == (4,)
+
+    def test_stats(self):
+        stats = TensorStats.of(np.array([0.0, 1.0, -1.0, 0.0]))
+        assert stats.zero_fraction == pytest.approx(0.5)
+        assert stats.max == 1.0 and stats.min == -1.0
+
+    def test_stats_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            TensorStats.of(np.array([]))
+
+
+class TestFeatureMap:
+    def test_shape_accessors(self):
+        fmap = FeatureMap("x", np.zeros((3, 4, 5)))
+        assert (fmap.channels, fmap.height, fmap.width) == (3, 4, 5)
+
+    def test_channel_access_and_iteration(self):
+        data = np.arange(2 * 2 * 2).reshape(2, 2, 2).astype(float)
+        fmap = FeatureMap("x", data)
+        np.testing.assert_array_equal(fmap.channel(1), data[1])
+        assert [idx for idx, _ in fmap.iter_channels()] == [0, 1]
+
+    def test_channel_out_of_range(self):
+        fmap = FeatureMap("x", np.zeros((2, 2, 2)))
+        with pytest.raises(WorkloadError):
+            fmap.channel(2)
+
+    def test_padding(self):
+        fmap = FeatureMap("x", np.ones((1, 2, 2))).padded(1)
+        assert fmap.shape == (1, 4, 4)
+        assert fmap.data.sum() == pytest.approx(4.0)
+
+    def test_hwc_round_trip(self):
+        data = np.random.default_rng(0).random((3, 4, 5))
+        fmap = FeatureMap("x", data)
+        round_trip = FeatureMap.from_hwc("y", fmap.to_hwc())
+        np.testing.assert_allclose(round_trip.data, data)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(WorkloadError):
+            FeatureMap("x", np.zeros((2, 2)))
+
+    def test_bytes(self):
+        assert FeatureMap("x", np.zeros((2, 3, 4))).bytes() == 48

@@ -1,0 +1,78 @@
+"""Tests for the ChainNN facade (run_layer / run_network results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.zoo import alexnet, lenet5
+from repro.core.accelerator import ChainNN
+from repro.core.config import ChainConfig
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChainNN.paper_configuration()
+
+
+@pytest.fixture(scope="module")
+def alexnet_result(chip):
+    return chip.run_network(alexnet(), batch=4)
+
+
+class TestFacadeBasics:
+    def test_peak_gops(self, chip):
+        assert chip.peak_gops == pytest.approx(806.4)
+
+    def test_utilization_shortcut(self, chip):
+        assert chip.utilization(11) == pytest.approx(484 / 576)
+
+    def test_describe(self, chip):
+        assert "576" in chip.describe()
+
+    def test_custom_configuration(self):
+        small = ChainNN(ChainConfig(num_pes=144, clock=ChainConfig().clock))
+        assert small.peak_gops == pytest.approx(144 * 2 * 0.7)
+
+    def test_power_calibration_constructor(self):
+        calibrated = ChainNN.paper_configuration(calibrate_power_to=alexnet())
+        report = calibrated.power_model.network_power(alexnet(), 4)
+        assert report.total_w * 1e3 == pytest.approx(567.5, rel=0.01)
+
+
+class TestLayerResult:
+    def test_layer_result_contains_all_views(self, chip):
+        layer = alexnet().conv_layer("conv3")
+        result = chip.run_layer(layer, batch=4)
+        assert result.mapping.active_primitives == 64
+        assert result.performance.conv_cycles_per_image > 0
+        assert result.traffic.omemory_bytes > result.traffic.imemory_bytes
+
+    def test_batch_propagates(self, chip):
+        layer = alexnet().conv_layer("conv5")
+        result = chip.run_layer(layer, batch=8)
+        assert result.performance.batch == 8
+        assert result.traffic.batch == 8
+
+
+class TestNetworkResult:
+    def test_contains_one_entry_per_conv_layer(self, alexnet_result):
+        assert len(alexnet_result.layers) == 5
+
+    def test_fps_and_efficiency_available(self, alexnet_result):
+        assert alexnet_result.frames_per_second > 200
+        assert alexnet_result.gops_per_watt > 500
+
+    def test_summary_keys(self, alexnet_result):
+        summary = alexnet_result.summary()
+        for key in ("fps", "achieved_gops", "total_power_w", "gops_per_watt"):
+            assert key in summary
+
+    def test_summary_consistency(self, alexnet_result):
+        summary = alexnet_result.summary()
+        assert summary["fps"] == pytest.approx(alexnet_result.performance.frames_per_second)
+        assert summary["gops_per_watt"] == pytest.approx(alexnet_result.power.gops_per_watt)
+
+    def test_other_networks_run(self, chip):
+        result = chip.run_network(lenet5(), batch=1)
+        assert result.frames_per_second > 0
+        assert len(result.layers) == 2

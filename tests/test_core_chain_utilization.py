@@ -1,0 +1,137 @@
+"""Tests for chain partitioning, Table II utilization math and ChainConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chain import PEChain
+from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
+from repro.core.utilization import (
+    active_primitives,
+    best_chain_lengths,
+    minimum_utilization,
+    primitive_size,
+    utilization_entry,
+    utilization_table,
+)
+from repro.errors import ConfigurationError, MappingError
+
+
+class TestChainConfig:
+    def test_paper_defaults(self):
+        config = ChainConfig.paper_default()
+        assert config.num_pes == 576
+        assert config.frequency_hz == pytest.approx(700e6)
+        assert config.peak_gops == pytest.approx(806.4)
+        assert config.kmemory_words_per_pe == 256
+
+    def test_onchip_memory_is_352_kb(self):
+        config = ChainConfig.paper_default()
+        # 32 KB iMemory + 25 KB oMemory + 576 * 512 B kMemory = 345 KiB (the
+        # paper rounds the same total to 352 KB decimal-ish; we check bytes)
+        assert config.kmemory_total_bytes == 576 * 512
+        assert config.onchip_memory_bytes == 32 * 1024 + 25 * 1024 + 576 * 512
+
+    def test_word_bytes(self):
+        assert ChainConfig().word_bytes == 2
+
+    def test_with_pes_and_frequency(self):
+        config = ChainConfig().with_pes(288).with_frequency(350e6)
+        assert config.num_pes == 288
+        assert config.peak_gops == pytest.approx(288 * 2 * 0.35)
+
+    def test_single_channel_copy(self):
+        config = ChainConfig().single_channel()
+        assert not config.dual_channel
+        assert config.ifmap_channels_per_cycle == 1
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ConfigurationError):
+            ChainConfig(num_pes=0)
+        with pytest.raises(ConfigurationError):
+            ChainConfig(word_bits=12)
+        with pytest.raises(ConfigurationError):
+            ChainConfig(pe_pipeline_stages=-1)
+
+    def test_describe(self):
+        assert "576" in ChainConfig().describe()
+
+
+class TestTable2Utilization:
+    #: the exact Table II rows (active primitives / active PEs)
+    PAPER_ROWS = {
+        3: (64, 576),
+        5: (23, 575),
+        7: (11, 539),
+        9: (7, 567),
+        11: (4, 484),
+    }
+
+    @pytest.mark.parametrize("kernel,expected", sorted(PAPER_ROWS.items()))
+    def test_active_counts_match_the_paper(self, kernel, expected):
+        entry = utilization_entry(576, kernel)
+        assert (entry.active_primitives, entry.active_pes) == expected
+
+    def test_worst_case_is_84_percent(self):
+        assert minimum_utilization(576, MAINSTREAM_KERNEL_SIZES) == pytest.approx(484 / 576)
+
+    def test_k9_utilization_is_98_4_percent_not_100(self):
+        # the paper's table prints 100% for 9x9, but 567/576 = 98.4 %
+        assert utilization_entry(576, 9).utilization == pytest.approx(0.984375)
+
+    def test_idle_pes(self):
+        assert utilization_entry(576, 11).idle_pes == 92
+
+    def test_primitive_size(self):
+        assert primitive_size(11) == 121
+
+    def test_kernel_too_large(self):
+        with pytest.raises(MappingError):
+            active_primitives(100, 11)
+
+    def test_table_covers_requested_sizes(self):
+        table = utilization_table(576, (3, 5))
+        assert set(table) == {3, 5}
+
+    def test_best_chain_lengths_sweep(self):
+        sweep = best_chain_lengths(kernel_sizes=(3, 5), low=128, high=256, step=64)
+        assert all(0 < value <= 1.0 for value in sweep.values())
+
+
+class TestPEChainPartition:
+    def test_partition_geometry(self):
+        chain = PEChain(ChainConfig(num_pes=576))
+        partition = chain.partition(3)
+        assert partition.num_primitives == 64
+        assert partition.slots[0].first_pe == 0
+        assert partition.slots[0].last_pe == 8
+        assert partition.slots[-1].last_pe == 575
+
+    def test_partition_leaves_tail_idle(self):
+        partition = PEChain(ChainConfig(num_pes=576)).partition(11)
+        assert partition.active_pes == 484
+        assert partition.idle_pes == 92
+        assert partition.slot_of(575) is None
+        assert partition.slot_of(483).index == 3
+
+    def test_slot_lookup(self):
+        partition = PEChain(ChainConfig(num_pes=36)).partition(3)
+        assert partition.slot_of(10).index == 1
+        with pytest.raises(MappingError):
+            partition.slot_of(36)
+
+    def test_utilization_shortcut_matches_table(self):
+        chain = PEChain(ChainConfig(num_pes=576))
+        assert chain.utilization(7).active_pes == 539
+
+    def test_kernel_too_large_for_chain(self):
+        with pytest.raises(MappingError):
+            PEChain(ChainConfig(num_pes=36)).partition(7)
+
+    def test_describe(self):
+        text = PEChain(ChainConfig(num_pes=576)).describe(5)
+        assert "23 primitives" in text
+
+    def test_primitive_port_count(self):
+        chain = PEChain(ChainConfig(num_pes=576))
+        assert chain.primitive_port_count(3) == 64

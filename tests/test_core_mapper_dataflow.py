@@ -1,0 +1,175 @@
+"""Tests for the layer mapper, the Fig. 7 dataflow planner and the controller FSM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.zoo import alexnet
+from repro.core.config import ChainConfig
+from repro.core.controller import ChainController, Phase
+from repro.core.dataflow import DataflowPlanner
+from repro.core.mapper import LayerMapper
+from repro.errors import MappingError, SimulationError
+
+
+@pytest.fixture
+def mapper(paper_config):
+    return LayerMapper(paper_config)
+
+
+@pytest.fixture
+def planner(paper_config):
+    return DataflowPlanner(paper_config)
+
+
+class TestLayerMapper:
+    def test_alexnet_conv3_mapping(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv3"))
+        assert mapping.active_primitives == 64
+        assert mapping.active_pes == 576
+        assert mapping.channel_pairs == 384 * 256
+        assert mapping.passes == 1536
+        assert mapping.kernel_load_cycles == 884_736
+
+    def test_alexnet_conv1_mapping(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv1"))
+        assert mapping.active_primitives == 4
+        assert mapping.spatial_utilization == pytest.approx(484 / 576)
+        assert mapping.passes == 72
+
+    def test_kmemory_refills_when_passes_exceed_capacity(self, mapper, alexnet_network):
+        # conv3 needs 1536 weights per PE but kMemory holds 256
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv3"))
+        assert not mapping.weights_fit_in_kmemory
+        assert mapping.kmemory_refills == 6
+
+    def test_small_layer_fits_kmemory(self, mapper):
+        layer = ConvLayer("small", 8, 8, 16, 16, kernel_size=3, padding=1)
+        mapping = mapper.map_layer(layer)
+        assert mapping.weights_fit_in_kmemory
+
+    def test_kernel_too_large_for_chain(self):
+        mapper = LayerMapper(ChainConfig(num_pes=36))
+        with pytest.raises(MappingError):
+            mapper.map_layer(ConvLayer("big", 1, 1, 20, 20, kernel_size=7))
+
+    def test_stripes_per_pair(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv3"))
+        assert mapping.stripes_per_pair == [3, 3, 3, 3, 1]
+
+    def test_map_network(self, mapper, alexnet_network):
+        mappings = mapper.map_network(alexnet_network.conv_layers)
+        assert len(mappings) == 5
+
+    def test_describe(self, mapper, alexnet_network):
+        text = mapper.map_layer(alexnet_network.conv_layer("conv1")).describe()
+        assert "conv1" in text and "primitives" in text
+
+
+class TestDataflowPlanner:
+    def test_conv3_tiles(self, planner, alexnet_network, paper_config):
+        layer = alexnet_network.conv_layer("conv3")
+        tile = planner.plan(layer, active_primitives=64)
+        assert tile.th == 3
+        assert tile.stripe_rows == 5
+        assert tile.tm == 64
+        assert tile.ifmap_tile_bytes <= paper_config.imemory_bytes
+        assert tile.ofmap_tile_bytes <= paper_config.omemory_bytes
+
+    def test_conv1_tiles_fit_imemory(self, planner, alexnet_network, paper_config):
+        layer = alexnet_network.conv_layer("conv1")
+        tile = planner.plan(layer, active_primitives=4)
+        assert tile.stripe_rows == 21
+        assert tile.ifmap_tile_bytes <= paper_config.imemory_bytes
+
+    def test_outer_and_inner_tile_counts(self, planner, alexnet_network):
+        layer = alexnet_network.conv_layer("conv3")
+        tile = planner.plan(layer, active_primitives=64)
+        assert tile.outer_tiles == 6
+        assert tile.inner_tiles == 5
+
+    def test_iteration_order_counts(self, planner):
+        layer = ConvLayer("t", 4, 6, 12, 12, kernel_size=3, padding=1)
+        tile = planner.plan(layer, active_primitives=8)
+        iterations = list(planner.iterations(tile, batch=2))
+        # every (outer tile, image, inner tile, m, c) combination appears once
+        expected = tile.outer_tiles * 2 * tile.inner_tiles * layer.out_channels \
+            * layer.in_channels_per_group // tile.outer_tiles
+        assert len(iterations) == expected
+        # innermost loop is the ifmap channel
+        assert [it.ifmap_channel for it in iterations[:4]] == [0, 1, 2, 3]
+
+    def test_reuse_factors_positive_and_ordered(self, planner, alexnet_network):
+        layer = alexnet_network.conv_layer("conv3")
+        tile = planner.plan(layer, active_primitives=64)
+        ifmap_reuse, weight_reuse, psum_reuse = planner.reuse_factors(tile)
+        assert ifmap_reuse > psum_reuse > 0
+        assert weight_reuse == pytest.approx(3 * 13)
+
+    def test_tiny_imemory_raises(self):
+        tiny = ChainConfig(imemory_bytes=64)
+        planner = DataflowPlanner(tiny)
+        layer = ConvLayer("wide", 1, 1, 64, 64, kernel_size=3)
+        with pytest.raises(Exception):
+            planner.plan(layer, active_primitives=1)
+
+    def test_describe(self, planner, alexnet_network):
+        layer = alexnet_network.conv_layer("conv2")
+        tile = planner.plan(layer, active_primitives=23)
+        assert "Tm=" in tile.describe()
+
+
+class TestChainController:
+    def test_normal_sequence(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv3"))
+        controller = ChainController()
+        controller.configure(mapping)
+        load = controller.load_kernels()
+        assert load == mapping.kernel_load_cycles
+        controller.stream(1000)
+        controller.drain(20)
+        controller.finish_layer()
+        assert controller.phase == Phase.IDLE
+        assert controller.layers_completed == 1
+        assert controller.log.busy == load + 1020
+
+    def test_busy_fraction(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv5"))
+        controller = ChainController()
+        controller.configure(mapping)
+        controller.load_kernels(10)
+        controller.stream(90)
+        controller.finish_layer()
+        assert controller.busy_fraction == pytest.approx(100 / 101)
+
+    def test_illegal_transition(self):
+        controller = ChainController()
+        with pytest.raises(SimulationError):
+            controller.stream(10)
+
+    def test_load_without_configure(self):
+        controller = ChainController()
+        with pytest.raises(SimulationError):
+            controller.load_kernels()
+
+    def test_finish_from_idle_rejected(self):
+        controller = ChainController()
+        with pytest.raises(SimulationError):
+            controller.finish_layer()
+
+    def test_negative_cycles_rejected(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv5"))
+        controller = ChainController()
+        controller.configure(mapping)
+        controller.load_kernels(5)
+        with pytest.raises(SimulationError):
+            controller.stream(-1)
+
+    def test_reset(self, mapper, alexnet_network):
+        mapping = mapper.map_layer(alexnet_network.conv_layer("conv5"))
+        controller = ChainController()
+        controller.configure(mapping)
+        controller.reset()
+        assert controller.phase == Phase.IDLE
+        assert controller.log.total == 0

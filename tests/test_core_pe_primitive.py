@@ -1,0 +1,206 @@
+"""Tests for the dual-channel PE and the 1D systolic primitive (cycle level)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.reference import conv2d_single_channel
+from repro.core.pe import DualChannelPE, PEInputs, TaggedPsum
+from repro.core.primitive import SystolicPrimitive
+from repro.errors import MappingError, SimulationError
+
+
+class TestTaggedPsum:
+    def test_accumulate_preserves_tag(self):
+        psum = TaggedPsum(value=10, start_timestamp=7)
+        updated = psum.accumulate(5)
+        assert updated.value == 15
+        assert updated.start_timestamp == 7
+
+
+class TestDualChannelPE:
+    def test_weight_load_and_select(self):
+        pe = DualChannelPE(position=0, kmemory_depth=4)
+        pe.load_weight(2, 99)
+        pe.select_weight(2)
+        assert pe.active_weight == 99
+        assert pe.kmemory_reads == 1
+
+    def test_mac_uses_selected_channel(self):
+        pe = DualChannelPE(position=0)
+        pe.load_weight(0, 3)
+        pe.select_weight(0)
+        outputs = pe.evaluate(PEInputs(even_pixel=2, odd_pixel=7, psum=TaggedPsum(0, 1),
+                                       channel_select="even"))
+        pe.tick()
+        # the psum computed this cycle only becomes visible downstream after
+        # two further edges; this cycle's downstream values are the reset ones
+        assert outputs.psum is None
+        pe.evaluate(PEInputs(None, None, None, None))
+        pe.tick()
+        outputs = pe.evaluate(PEInputs(None, None, None, None))
+        assert outputs.psum.value == 6
+
+    def test_missing_pixel_forwards_psum_unchanged(self):
+        pe = DualChannelPE(position=0)
+        pe.load_weight(0, 3)
+        pe.select_weight(0)
+        pe.evaluate(PEInputs(even_pixel=None, odd_pixel=None, psum=TaggedPsum(5, 1),
+                             channel_select="even"))
+        pe.tick()
+        pe.evaluate(PEInputs(None, None, None, None))
+        pe.tick()
+        outputs = pe.evaluate(PEInputs(None, None, None, None))
+        assert outputs.psum.value == 5
+        assert pe.idle_cycles >= 1
+
+    def test_channel_registers_forward_with_one_cycle_delay(self):
+        pe = DualChannelPE(position=0)
+        first = pe.evaluate(PEInputs(even_pixel=11, odd_pixel=22, psum=None, channel_select=None))
+        assert first.even_pixel is None and first.odd_pixel is None
+        pe.tick()
+        second = pe.evaluate(PEInputs(even_pixel=0, odd_pixel=0, psum=None, channel_select=None))
+        assert second.even_pixel == 11 and second.odd_pixel == 22
+
+    def test_reset_datapath_keeps_weights(self):
+        pe = DualChannelPE(position=0)
+        pe.load_weight(0, 7)
+        pe.select_weight(0)
+        pe.evaluate(PEInputs(1, 1, TaggedPsum(0, 1), "even"))
+        pe.tick()
+        pe.reset_datapath()
+        assert pe.active_weight == 7
+        assert pe.psum_reg_a.value is None
+
+
+class TestSystolicPrimitiveBasics:
+    def test_kernel_loading_is_column_major(self):
+        primitive = SystolicPrimitive(kernel_size=3)
+        kernel = np.arange(9).reshape(3, 3)
+        cycles = primitive.load_kernel(kernel, slot=0)
+        primitive.select_kernel(0)
+        assert cycles == 9
+        snapshot = primitive.weight_snapshot()
+        # PE q holds kernel[q % K][q // K]
+        assert snapshot[0] == kernel[0, 0]
+        assert snapshot[1] == kernel[1, 0]
+        assert snapshot[3] == kernel[0, 1]
+        assert snapshot[8] == kernel[2, 2]
+
+    def test_kernel_shape_mismatch(self):
+        primitive = SystolicPrimitive(kernel_size=3)
+        with pytest.raises(MappingError):
+            primitive.load_kernel(np.zeros((2, 2)))
+
+    def test_invalid_kernel_size(self):
+        with pytest.raises(MappingError):
+            SystolicPrimitive(kernel_size=0)
+
+    def test_stripe_must_be_2d(self):
+        primitive = SystolicPrimitive(kernel_size=2)
+        primitive.load_kernel(np.ones((2, 2)))
+        primitive.select_kernel()
+        with pytest.raises(SimulationError):
+            primitive.run_stripe(np.ones(5))
+
+    def test_drain_latency_scales_with_kernel(self):
+        assert SystolicPrimitive(3).drain_latency() == 2 * 9 + 2
+        assert SystolicPrimitive(5).drain_latency() == 2 * 25 + 2
+
+
+class TestSystolicPrimitiveConvolution:
+    def _run(self, kernel_size, rows, width, seed=0):
+        rng = np.random.default_rng(seed)
+        stripe = rng.integers(-8, 8, size=(rows, width))
+        kernel = rng.integers(-4, 4, size=(kernel_size, kernel_size))
+        primitive = SystolicPrimitive(kernel_size=kernel_size)
+        primitive.load_kernel(kernel)
+        primitive.select_kernel()
+        result = primitive.run_stripe(stripe)
+        expected = conv2d_single_channel(stripe.astype(float), kernel.astype(float))
+        out_rows = rows - kernel_size + 1
+        produced = result.as_array(out_rows, width - kernel_size + 1)
+        return result, produced, expected[:out_rows]
+
+    def test_full_stripe_k3_matches_reference(self):
+        result, produced, expected = self._run(3, rows=5, width=9)
+        np.testing.assert_array_equal(produced, expected)
+        assert len(result.outputs) == expected.size
+
+    def test_full_stripe_k2_matches_reference(self):
+        _, produced, expected = self._run(2, rows=3, width=7)
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_full_stripe_k5_matches_reference(self):
+        _, produced, expected = self._run(5, rows=9, width=12, seed=3)
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_partial_stripe_produces_one_row(self):
+        _, produced, expected = self._run(3, rows=3, width=8, seed=1)
+        assert produced.shape == (1, 6)
+        np.testing.assert_array_equal(produced, expected)
+
+    def test_one_output_per_cycle_in_steady_state(self):
+        result, _, expected = self._run(3, rows=5, width=30, seed=2)
+        completion = [output.completion_cycle for output in result.outputs]
+        # consecutive completions are one cycle apart within a column batch
+        gaps = np.diff(sorted(completion))
+        assert np.all(gaps >= 1)
+        assert np.median(gaps) == 1.0
+
+    def test_cycle_count_is_streaming_plus_drain(self):
+        result, _, _ = self._run(3, rows=5, width=9)
+        # K*(W-1) + (2K-1) streaming + drain
+        assert result.cycles == (3 * 8 + 5) + SystolicPrimitive(3).drain_latency()
+
+    def test_macs_counted(self):
+        result, _, _ = self._run(3, rows=5, width=9)
+        assert result.macs > 0
+        assert result.macs <= result.cycles * 9
+
+    def test_outputs_tagged_inside_stripe(self):
+        result, _, _ = self._run(3, rows=5, width=9)
+        for output in result.outputs:
+            assert 0 <= output.out_row_in_stripe < 3
+            assert 0 <= output.out_col < 7
+
+
+class TestSystolicPrimitiveProperties:
+    @given(
+        kernel=st.integers(min_value=2, max_value=4),
+        extra_width=st.integers(min_value=0, max_value=6),
+        short_rows=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_primitive_equals_reference_convolution(self, kernel, extra_width, short_rows, seed):
+        rows = max(kernel, 2 * kernel - 1 - short_rows)
+        width = kernel + extra_width
+        rng = np.random.default_rng(seed)
+        stripe = rng.integers(-16, 16, size=(rows, width))
+        weights = rng.integers(-8, 8, size=(kernel, kernel))
+        primitive = SystolicPrimitive(kernel_size=kernel)
+        primitive.load_kernel(weights)
+        primitive.select_kernel()
+        result = primitive.run_stripe(stripe)
+        expected = conv2d_single_channel(stripe.astype(float), weights.astype(float))
+        out_rows = rows - kernel + 1
+        produced = result.as_array(out_rows, width - kernel + 1)
+        np.testing.assert_array_equal(produced, expected[:out_rows])
+
+    @given(
+        kernel=st.integers(min_value=2, max_value=4),
+        extra_width=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_output_count_matches_window_count(self, kernel, extra_width):
+        width = kernel + extra_width
+        rows = 2 * kernel - 1
+        primitive = SystolicPrimitive(kernel_size=kernel)
+        primitive.load_kernel(np.ones((kernel, kernel), dtype=int))
+        primitive.select_kernel()
+        result = primitive.run_stripe(np.ones((rows, width), dtype=int))
+        assert len(result.outputs) == kernel * (width - kernel + 1)

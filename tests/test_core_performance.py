@@ -1,0 +1,146 @@
+"""Tests for the analytical performance model (Fig. 9 / Sec. V.B numbers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.layer import ConvLayer
+from repro.core.config import ChainConfig
+from repro.core.performance import PerformanceModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model(paper_config):
+    return PerformanceModel(paper_config)
+
+
+#: Fig. 9 convolution times in milliseconds for a 128-image batch
+PAPER_LAYER_TIMES_MS = {
+    "conv1": 159.30,
+    "conv2": 102.10,
+    "conv3": 57.20,
+    "conv4": 42.90,
+    "conv5": 28.60,
+}
+
+
+class TestPairCycles:
+    def test_stride1_formula(self, model):
+        layer = ConvLayer("t", 1, 1, 13, 13, kernel_size=3, padding=1)
+        # stripes = 13/3, per stripe = 3*13 + 8
+        assert model.pair_cycles(layer) == pytest.approx((13 / 3) * (3 * 13 + 8))
+
+    def test_strided_layer_is_input_bound(self, model, alexnet_network):
+        conv1 = alexnet_network.conv_layer("conv1")
+        # 5 stripes x K*E*S = 5 x 11*55*4
+        assert model.pair_cycles(conv1) == pytest.approx(5 * 11 * 55 * 4)
+
+    def test_single_channel_pays_factor_k(self, model):
+        layer = ConvLayer("t", 1, 1, 13, 13, kernel_size=3, padding=1)
+        assert model.single_channel_pair_cycles(layer) == pytest.approx(
+            3 * model.pair_cycles(layer))
+
+    def test_detailed_mode_is_more_conservative(self, paper_config):
+        paper = PerformanceModel(paper_config, mode="paper")
+        detailed = PerformanceModel(paper_config, mode="detailed")
+        layer = ConvLayer("t", 1, 1, 13, 13, kernel_size=3, padding=1)
+        assert detailed.pair_cycles(layer) > paper.pair_cycles(layer)
+
+    def test_invalid_mode(self, paper_config):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel(paper_config, mode="magic")
+
+
+class TestAlexNetLayerTimes:
+    @pytest.mark.parametrize("name,paper_ms", sorted(PAPER_LAYER_TIMES_MS.items()))
+    def test_layer_times_match_fig9(self, model, alexnet_network, name, paper_ms):
+        layer = alexnet_network.conv_layer(name)
+        perf = model.layer_performance(layer, batch=128)
+        measured_ms = perf.conv_time_per_batch_s * 1e3
+        # conv2's published time includes stalls the paper does not explain;
+        # all other layers reproduce to a fraction of a percent
+        tolerance = 0.20 if name == "conv2" else 0.01
+        assert measured_ms == pytest.approx(paper_ms, rel=tolerance)
+
+    def test_kernel_load_is_one_weight_per_cycle(self, model, alexnet_network):
+        conv3 = alexnet_network.conv_layer("conv3")
+        perf = model.layer_performance(conv3, batch=128)
+        assert perf.kernel_load_cycles == conv3.weight_count
+        assert perf.kernel_load_time_s * 1e3 == pytest.approx(1.23, rel=0.05)
+
+    def test_layer_ordering_matches_paper(self, model, alexnet_network):
+        times = {
+            layer.name: model.layer_performance(layer, 128).conv_time_per_batch_s
+            for layer in alexnet_network.conv_layers
+        }
+        assert times["conv1"] > times["conv2"] > times["conv3"] > times["conv4"] > times["conv5"]
+
+
+class TestNetworkPerformance:
+    def test_fps_batch_128(self, model, alexnet_network):
+        perf = model.network_performance(alexnet_network, batch=128)
+        # paper: 326.2 fps; our conv2 is faster so we land a few percent above
+        assert perf.frames_per_second == pytest.approx(326.2, rel=0.06)
+
+    def test_fps_batch_4(self, model, alexnet_network):
+        perf = model.network_performance(alexnet_network, batch=4)
+        assert perf.frames_per_second == pytest.approx(275.6, rel=0.05)
+
+    def test_larger_batches_amortise_kernel_loading(self, model, alexnet_network):
+        fps = [model.network_performance(alexnet_network, batch=b).frames_per_second
+               for b in (1, 4, 32, 128)]
+        assert fps == sorted(fps)
+
+    def test_achieved_gops_below_peak(self, model, alexnet_network, paper_config):
+        perf = model.network_performance(alexnet_network, batch=128)
+        assert perf.achieved_gops < paper_config.peak_gops
+        assert perf.efficiency_vs_peak > 0.5
+
+    def test_peak_gops(self, paper_config):
+        assert paper_config.peak_gops == pytest.approx(806.4)
+
+    def test_layer_times_dict_keys(self, model, alexnet_network):
+        perf = model.network_performance(alexnet_network, batch=128)
+        assert set(perf.layer_times_ms()) == set(PAPER_LAYER_TIMES_MS)
+
+    def test_invalid_batch(self, model, alexnet_network):
+        with pytest.raises(ConfigurationError):
+            model.layer_performance(alexnet_network.conv_layer("conv1"), batch=0)
+
+
+class TestUtilizationMetrics:
+    def test_temporal_utilization_below_one(self, model, alexnet_network):
+        for layer in alexnet_network.conv_layers:
+            perf = model.layer_performance(layer)
+            assert 0.0 < perf.temporal_utilization <= 1.0
+
+    def test_conv1_effective_utilization_reflects_stride_waste(self, model, alexnet_network):
+        conv1 = model.layer_performance(alexnet_network.conv_layer("conv1"))
+        conv3 = model.layer_performance(alexnet_network.conv_layer("conv3"))
+        assert conv1.effective_utilization < conv3.effective_utilization
+
+    def test_single_channel_config_is_k_times_slower(self, alexnet_network):
+        dual = PerformanceModel(ChainConfig())
+        single = PerformanceModel(ChainConfig().single_channel())
+        layer = alexnet_network.conv_layer("conv3")
+        ratio = (single.layer_performance(layer).conv_cycles_per_image
+                 / dual.layer_performance(layer).conv_cycles_per_image)
+        assert ratio == pytest.approx(3.0)
+
+
+class TestScalingBehaviour:
+    def test_cycles_scale_inversely_with_primitives(self, alexnet_network):
+        big = PerformanceModel(ChainConfig(num_pes=1152))
+        small = PerformanceModel(ChainConfig(num_pes=576))
+        layer = alexnet_network.conv_layer("conv3")
+        ratio = (small.layer_performance(layer).conv_cycles_per_image
+                 / big.layer_performance(layer).conv_cycles_per_image)
+        assert ratio == pytest.approx(2.0)
+
+    def test_time_scales_inversely_with_frequency(self, alexnet_network):
+        fast = PerformanceModel(ChainConfig().with_frequency(1400e6))
+        slow = PerformanceModel(ChainConfig())
+        layer = alexnet_network.conv_layer("conv4")
+        assert slow.layer_performance(layer).conv_time_per_image_s == pytest.approx(
+            2 * fast.layer_performance(layer).conv_time_per_image_s)

@@ -1,0 +1,197 @@
+"""Tests for the column-wise scan schedule (the heart of the dual-channel PE)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scan import ColumnScanSchedule, stripe_plan
+from repro.errors import ConfigurationError
+
+
+class TestTimestampMapping:
+    def test_fig5b_timestamps_for_k3(self):
+        # Fig. 5(b): a 5-row stripe, column c gets timestamps 3c+1 .. 3c+5
+        schedule = ColumnScanSchedule(kernel_size=3, width=8)
+        assert [schedule.timestamp(r, 0) for r in range(5)] == [1, 2, 3, 4, 5]
+        assert [schedule.timestamp(r, 1) for r in range(5)] == [4, 5, 6, 7, 8]
+        assert [schedule.timestamp(r, 2) for r in range(5)] == [7, 8, 9, 10, 11]
+
+    def test_total_timestamps(self):
+        schedule = ColumnScanSchedule(kernel_size=3, width=8)
+        assert schedule.total_timestamps == 3 * 7 + 5  # K*(W-1) + (2K-1)
+
+    def test_fill_latency_is_k_squared(self):
+        assert ColumnScanSchedule(3, 8).fill_latency == 9
+        assert ColumnScanSchedule(5, 12).fill_latency == 25
+
+    def test_out_of_range_rejected(self):
+        schedule = ColumnScanSchedule(3, 8)
+        with pytest.raises(ConfigurationError):
+            schedule.timestamp(5, 0)
+        with pytest.raises(ConfigurationError):
+            schedule.timestamp(0, 8)
+
+    def test_width_must_fit_kernel(self):
+        with pytest.raises(ConfigurationError):
+            ColumnScanSchedule(kernel_size=5, width=4)
+
+    def test_stripe_rows_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ColumnScanSchedule(3, 8, stripe_rows=2)
+        with pytest.raises(ConfigurationError):
+            ColumnScanSchedule(3, 8, stripe_rows=6)
+
+
+class TestDualChannelInvariant:
+    @pytest.mark.parametrize("kernel", [2, 3, 5, 7])
+    def test_at_most_two_pixels_share_a_timestamp(self, kernel):
+        schedule = ColumnScanSchedule(kernel, width=4 * kernel)
+        for delivery in schedule.deliveries():
+            assert delivery.pixel_count <= 2
+
+    def test_shared_pixels_have_opposite_column_parity(self):
+        schedule = ColumnScanSchedule(3, 10)
+        for timestamp in range(1, schedule.total_timestamps + 1):
+            pixels = schedule.pixels_at(timestamp)
+            if len(pixels) == 2:
+                assert pixels[0][1] % 2 != pixels[1][1] % 2
+
+    def test_every_pixel_delivered_exactly_once(self):
+        schedule = ColumnScanSchedule(3, 6)
+        seen = set()
+        for delivery in schedule.deliveries():
+            for pixel in (delivery.even, delivery.odd):
+                if pixel is not None:
+                    assert pixel not in seen
+                    seen.add(pixel)
+        assert len(seen) == schedule.pixels_streamed()
+
+    def test_average_rate_below_two_pixels_per_cycle(self):
+        schedule = ColumnScanSchedule(5, 40)
+        assert schedule.average_pixels_per_cycle() <= 2.0
+        assert schedule.peak_pixels_per_cycle() == 2
+
+
+class TestWindowEnumeration:
+    def test_one_valid_window_per_cycle_in_steady_state(self):
+        schedule = ColumnScanSchedule(3, 10)
+        # every timestamp from K^2 up to the last interior window completes one
+        interior = [schedule.window_ending_at(t) for t in range(9, schedule.total_timestamps + 1)]
+        valid = [tag for tag in interior if tag.valid]
+        assert len(valid) == 3 * (10 - 3 + 1)
+
+    def test_window_pixels_are_the_k_by_k_patch_in_column_major_order(self):
+        schedule = ColumnScanSchedule(3, 8)
+        pixels = schedule.window_pixels(1, 2)
+        assert pixels == [(1 + i, 2 + j) for j in range(3) for i in range(3)]
+
+    def test_window_timestamps_are_consecutive(self):
+        schedule = ColumnScanSchedule(3, 8)
+        for tag in schedule.valid_windows():
+            stamps = [schedule.timestamp(r, c)
+                      for (r, c) in schedule.window_pixels(tag.out_row_in_stripe, tag.out_col)]
+            assert stamps == list(range(tag.timestamp - 8, tag.timestamp + 1))
+
+    def test_partial_stripe_produces_fewer_rows(self):
+        schedule = ColumnScanSchedule(3, 8, stripe_rows=3)
+        assert schedule.out_rows == 1
+        rows = {tag.out_row_in_stripe for tag in schedule.valid_windows()}
+        assert rows == {0}
+
+    def test_window_pixels_validation(self):
+        schedule = ColumnScanSchedule(3, 8)
+        with pytest.raises(ConfigurationError):
+            schedule.window_pixels(3, 0)
+        with pytest.raises(ConfigurationError):
+            schedule.window_pixels(0, 6)
+
+    def test_utilization_approaches_one_for_wide_stripes(self):
+        narrow = ColumnScanSchedule(3, 6).utilization()
+        wide = ColumnScanSchedule(3, 200).utilization()
+        assert wide > narrow
+        assert wide > 0.97
+
+
+class TestPeSelection:
+    def test_selection_is_none_before_pipeline_reaches_pe(self):
+        schedule = ColumnScanSchedule(3, 8)
+        assert schedule.pe_channel_select(5, 3) is None
+
+    def test_pe_zero_follows_window_column_parity(self):
+        schedule = ColumnScanSchedule(3, 8)
+        # PE 0 at timestamp u serves the window starting at u; its column is
+        # the window's start column
+        assert schedule.pe_column(0, 1) == 0
+        assert schedule.pe_column(0, 4) == 1
+        assert schedule.pe_column(0, 7) == 2
+
+    def test_pe_column_includes_window_offset(self):
+        schedule = ColumnScanSchedule(3, 8)
+        # PE 6 (q=6 -> in-window column 2) of the first window is at column 2
+        assert schedule.pe_column(6, 7) == 2
+
+    def test_channel_names(self):
+        schedule = ColumnScanSchedule(3, 8)
+        assert schedule.pe_channel_select(0, 1) == "even"
+        assert schedule.pe_channel_select(0, 4) == "odd"
+
+    def test_pe_index_bounds(self):
+        schedule = ColumnScanSchedule(3, 8)
+        with pytest.raises(ConfigurationError):
+            schedule.pe_column(9, 10)
+
+
+class TestStripePlan:
+    def test_exact_multiple(self):
+        assert stripe_plan(12, 3) == [3, 3, 3, 3]
+
+    def test_remainder(self):
+        assert stripe_plan(13, 3) == [3, 3, 3, 3, 1]
+
+    def test_alexnet_conv1(self):
+        assert stripe_plan(55, 11) == [11] * 5
+
+    def test_single_row(self):
+        assert stripe_plan(1, 5) == [1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            stripe_plan(0, 3)
+        with pytest.raises(ConfigurationError):
+            stripe_plan(5, 0)
+
+
+class TestHypothesisInvariants:
+    @given(kernel=st.integers(2, 7), extra_width=st.integers(0, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_dual_channel_suffices_for_any_geometry(self, kernel, extra_width):
+        schedule = ColumnScanSchedule(kernel, width=kernel + extra_width)
+        assert schedule.peak_pixels_per_cycle() <= 2
+
+    @given(kernel=st.integers(2, 6), extra_width=st.integers(0, 15),
+           short=st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_valid_window_count_matches_geometry(self, kernel, extra_width, short):
+        width = kernel + extra_width
+        stripe_rows = max(kernel, 2 * kernel - 1 - short)
+        schedule = ColumnScanSchedule(kernel, width, stripe_rows=stripe_rows)
+        expected = (stripe_rows - kernel + 1) * (width - kernel + 1)
+        assert len(schedule.valid_windows()) == expected
+
+    @given(kernel=st.integers(2, 6), extra_width=st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_every_window_completion_timestamp_is_unique(self, kernel, extra_width):
+        schedule = ColumnScanSchedule(kernel, width=kernel + extra_width)
+        stamps = [tag.timestamp for tag in schedule.valid_windows()]
+        assert len(stamps) == len(set(stamps))
+
+    @given(kernel=st.integers(2, 6), extra_width=st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_window_pixels_all_streamed_before_completion(self, kernel, extra_width):
+        schedule = ColumnScanSchedule(kernel, width=kernel + extra_width)
+        for tag in schedule.valid_windows():
+            last = max(schedule.timestamp(r, c)
+                       for (r, c) in schedule.window_pixels(tag.out_row_in_stripe, tag.out_col))
+            assert last == tag.timestamp

@@ -1,0 +1,46 @@
+"""Tests for the zoo-network extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.networks import run_network_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_network_study(batch=8)
+
+
+class TestNetworkStudy:
+    def test_covers_every_zoo_network(self, study):
+        assert set(study.rows) == {"alexnet", "vgg16", "lenet5", "cifar10"}
+
+    def test_vgg_uses_the_chain_better_than_alexnet(self, study):
+        assert study.vgg_sustains_higher_fraction_of_peak_than_alexnet()
+        assert study.rows["vgg16"].worst_spatial_utilization == pytest.approx(1.0)
+
+    def test_alexnet_row_consistent_with_fig9_machinery(self, study):
+        row = study.rows["alexnet"]
+        assert row.conv_layers == 5
+        assert row.macs_per_image == pytest.approx(666e6, rel=0.01)
+        assert 250 < row.fps < 400
+
+    def test_small_networks_pay_for_kernel_loading(self, study):
+        # LeNet/CIFAR have tiny conv workloads, so kernel loading dominates more
+        assert study.rows["lenet5"].kernel_load_fraction > \
+            study.rows["alexnet"].kernel_load_fraction
+        assert study.rows["cifar10"].kernel_load_fraction > \
+            study.rows["vgg16"].kernel_load_fraction
+
+    def test_vgg_needs_more_kmemory_than_capacity(self, study):
+        assert study.rows["vgg16"].max_weights_per_pe > 256
+
+    def test_achieved_gops_below_peak_everywhere(self, study):
+        for row in study.rows.values():
+            assert 0 < row.achieved_gops < 806.4
+            assert 0 < row.efficiency_vs_peak < 1.0
+
+    def test_report_renders(self, study):
+        text = study.report()
+        assert "vgg16" in text and "fps" in text

@@ -1,0 +1,158 @@
+"""Tests for the fixed-point number system (repro.hwmodel.fixed_point)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.hwmodel.fixed_point import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    fixed_point_mac,
+    quantize_array,
+    quantize_value,
+)
+
+
+class TestFormatProperties:
+    def test_default_is_16_bit_q8_8(self):
+        assert DEFAULT_FORMAT.total_bits == 16
+        assert DEFAULT_FORMAT.frac_bits == 8
+        assert DEFAULT_FORMAT.int_bits == 7
+
+    def test_scale(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.scale == pytest.approx(1 / 256)
+
+    def test_raw_range_is_twos_complement(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.raw_min == -32768
+        assert fmt.raw_max == 32767
+
+    def test_value_range(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.min_value == pytest.approx(-8.0)
+        assert fmt.max_value == pytest.approx(8.0 - 1 / 16)
+
+    def test_rejects_illegal_formats(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=16, frac_bits=16)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=16, frac_bits=-1)
+
+
+class TestConversions:
+    def test_round_trip_of_representable_value(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.to_real(fmt.to_raw(1.5)) == pytest.approx(1.5)
+
+    def test_rounding_to_nearest(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.to_real(fmt.to_raw(0.001)) == pytest.approx(0.0, abs=fmt.scale)
+
+    def test_saturation_on_overflow(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.to_raw(1000.0) == 127
+        assert fmt.to_raw(-1000.0) == -128
+
+    def test_saturate_and_wrap(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.saturate(300) == 127
+        assert fmt.saturate(-300) == -128
+        assert fmt.wrap(128) == -128
+        assert fmt.wrap(-129) == 127
+
+    def test_quantize_array_matches_scalar(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.1, -0.7, 3.14159])
+        grid = fmt.quantize(values)
+        for value, quantised in zip(values, grid):
+            assert quantised == pytest.approx(quantize_value(float(value), fmt))
+
+    def test_quantize_raw_clamps(self):
+        fmt = FixedPointFormat(8, 0)
+        raw = fmt.quantize_raw(np.array([500.0, -500.0]))
+        assert raw.tolist() == [127, -128]
+
+    def test_quantization_error_statistics(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.linspace(-1, 1, 1001)
+        stats = fmt.quantization_error(values)
+        assert stats["max_abs"] <= fmt.scale / 2 + 1e-12
+        assert stats["rmse"] <= stats["max_abs"]
+        assert stats["mean_abs"] <= stats["max_abs"]
+
+
+class TestDerivedFormats:
+    def test_product_format_width(self):
+        fmt = FixedPointFormat(16, 8)
+        product = fmt.product_format(fmt)
+        assert product.total_bits == 32
+        assert product.frac_bits == 16
+
+    def test_accumulator_format_has_guard_bits(self):
+        fmt = FixedPointFormat(16, 8)
+        acc = fmt.accumulator_format(fmt, terms=121)
+        assert acc.total_bits >= 32 + 7  # ceil(log2(121)) == 7
+        assert acc.frac_bits == 16
+
+    def test_accumulator_rejects_zero_terms(self):
+        fmt = FixedPointFormat(16, 8)
+        with pytest.raises(QuantizationError):
+            fmt.accumulator_format(fmt, terms=0)
+
+
+class TestMacHelper:
+    def test_mac_accumulates(self):
+        acc_fmt = FixedPointFormat(40, 16)
+        result = fixed_point_mac(10, 3, 4, acc_fmt)
+        assert result == 22
+
+    def test_mac_saturates(self):
+        acc_fmt = FixedPointFormat(8, 0)
+        assert fixed_point_mac(120, 10, 10, acc_fmt) == 127
+
+    def test_mac_wraps_when_requested(self):
+        acc_fmt = FixedPointFormat(8, 0)
+        assert fixed_point_mac(120, 10, 10, acc_fmt, saturating=False) == acc_fmt.wrap(220)
+
+
+class TestHypothesisProperties:
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_quantisation_error_bounded_by_half_lsb(self, value):
+        fmt = FixedPointFormat(16, 8)
+        quantised = quantize_value(value, fmt)
+        if fmt.min_value < value < fmt.max_value:
+            assert abs(quantised - value) <= fmt.scale / 2 + 1e-12
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_quantised_value_always_representable(self, value):
+        fmt = FixedPointFormat(16, 8)
+        quantised = quantize_value(value, fmt)
+        assert fmt.min_value <= quantised <= fmt.max_value
+
+    @given(st.integers(min_value=-(2 ** 20), max_value=2 ** 20))
+    @settings(max_examples=200, deadline=None)
+    def test_wrap_is_idempotent_and_in_range(self, raw):
+        fmt = FixedPointFormat(12, 4)
+        wrapped = fmt.wrap(raw)
+        assert fmt.raw_min <= wrapped <= fmt.raw_max
+        assert fmt.wrap(wrapped) == wrapped
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=64)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_array_quantisation_is_elementwise(self, values):
+        fmt = FixedPointFormat(16, 8)
+        arr = np.array(values)
+        grid = quantize_array(arr, fmt)
+        assert grid.shape == arr.shape
+        assert np.all(grid <= fmt.max_value) and np.all(grid >= fmt.min_value)

@@ -1,0 +1,130 @@
+"""Tests for the storage models (RegisterFile / Sram / access counters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hwmodel.memory import AccessCounters, RegisterFile, Sram
+
+
+class TestAccessCounters:
+    def test_read_write_accumulation(self):
+        counters = AccessCounters()
+        counters.record_read(4, count=2)
+        counters.record_write(2)
+        assert counters.reads == 2
+        assert counters.writes == 1
+        assert counters.bytes_read == 4
+        assert counters.bytes_written == 2
+        assert counters.total_accesses == 3
+        assert counters.total_bytes == 6
+
+    def test_reset(self):
+        counters = AccessCounters()
+        counters.record_read(8)
+        counters.reset()
+        assert counters.total_bytes == 0 and counters.total_accesses == 0
+
+
+class TestRegisterFile:
+    def test_paper_kmemory_capacity(self):
+        kmem = RegisterFile(depth=256, word_bytes=2)
+        assert kmem.capacity_bytes == 512  # 256 x 16-bit = 512 B per PE
+
+    def test_write_then_read(self):
+        kmem = RegisterFile(depth=8)
+        kmem.write(3, 42)
+        assert kmem.read(3) == 42
+        assert kmem.counters.reads == 1
+        assert kmem.counters.writes == 1
+
+    def test_peek_does_not_count(self):
+        kmem = RegisterFile(depth=8)
+        kmem.write(0, 7)
+        reads_before = kmem.counters.reads
+        assert kmem.peek(0) == 7
+        assert kmem.counters.reads == reads_before
+
+    def test_bulk_load(self):
+        kmem = RegisterFile(depth=8)
+        kmem.load([1, 2, 3], base=2)
+        assert [kmem.peek(i) for i in range(2, 5)] == [1, 2, 3]
+        assert kmem.counters.writes == 3
+
+    def test_load_overflow_rejected(self):
+        kmem = RegisterFile(depth=4)
+        with pytest.raises(CapacityError):
+            kmem.load([1, 2, 3], base=2)
+
+    def test_out_of_range_address(self):
+        kmem = RegisterFile(depth=4)
+        with pytest.raises(CapacityError):
+            kmem.read(4)
+        with pytest.raises(CapacityError):
+            kmem.write(-1, 0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(CapacityError):
+            RegisterFile(depth=0)
+        with pytest.raises(CapacityError):
+            RegisterFile(depth=8, word_bytes=0)
+
+    def test_reset_clears_data_and_counters(self):
+        kmem = RegisterFile(depth=4)
+        kmem.write(1, 5)
+        kmem.reset()
+        assert kmem.peek(1) == 0
+        assert kmem.counters.total_accesses == 0
+
+
+class TestSram:
+    def test_paper_imemory_depth(self):
+        imem = Sram(32 * 1024, word_bytes=2, name="iMemory")
+        assert imem.depth == 16 * 1024
+
+    def test_stream_accounting(self):
+        sram = Sram(1024, word_bytes=2)
+        sram.record_stream_read(100)
+        sram.record_stream_write(50)
+        assert sram.counters.reads == 100
+        assert sram.counters.bytes_read == 200
+        assert sram.counters.writes == 50
+        assert sram.counters.bytes_written == 100
+
+    def test_stream_rejects_negative(self):
+        sram = Sram(1024)
+        with pytest.raises(ValueError):
+            sram.record_stream_read(-1)
+
+    def test_addressed_access_with_contents(self):
+        sram = Sram(64, word_bytes=2, store_contents=True)
+        sram.write(0, [11, 22, 33])
+        assert sram.read(0, 3) == [11, 22, 33]
+
+    def test_addressed_access_without_contents_returns_zeros(self):
+        sram = Sram(64, word_bytes=2)
+        sram.write(0, [11, 22])
+        assert sram.read(0, 2) == [0, 0]
+
+    def test_out_of_range_access(self):
+        sram = Sram(8, word_bytes=2)
+        with pytest.raises(CapacityError):
+            sram.read(3, 2)
+
+    def test_fits_and_utilization(self):
+        sram = Sram(25 * 1024)
+        assert sram.fits(20 * 1024)
+        assert not sram.fits(26 * 1024)
+        assert sram.utilization_of(12_800) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CapacityError):
+            Sram(0)
+
+    def test_reset(self):
+        sram = Sram(64, store_contents=True)
+        sram.write(0, [5])
+        sram.reset()
+        assert sram.counters.total_accesses == 0
+        assert sram.read(0, 1) == [0]

@@ -1,0 +1,74 @@
+"""Tests for the bandwidth-requirement analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.zoo import alexnet
+from repro.core.config import ChainConfig
+from repro.memory.bandwidth import BandwidthAnalyzer
+from repro.memory.dram import DramSpec
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return BandwidthAnalyzer(ChainConfig())
+
+
+@pytest.fixture(scope="module")
+def network():
+    return alexnet()
+
+
+class TestInputBandwidthInvariance:
+    def test_per_primitive_input_bandwidth_is_constant_in_k(self, analyzer):
+        by_kernel = analyzer.input_bandwidth_by_kernel()
+        assert set(by_kernel.values()) == {2.0}
+
+    def test_single_channel_configuration_halves_it(self):
+        single = BandwidthAnalyzer(ChainConfig().single_channel())
+        assert set(single.input_bandwidth_by_kernel().values()) == {1.0}
+
+    def test_chain_input_scales_with_active_primitives(self, analyzer, network):
+        conv1 = analyzer.layer_bandwidth(network.conv_layer("conv1"))
+        conv3 = analyzer.layer_bandwidth(network.conv_layer("conv3"))
+        assert conv1.chain_input_words_per_cycle == 2 * 4
+        assert conv3.chain_input_words_per_cycle == 2 * 64
+
+
+class TestDramRequirements:
+    def test_no_alexnet_layer_is_dram_bound(self, analyzer, network):
+        for entry in analyzer.network_bandwidth(network, batch=4):
+            assert not entry.dram_bound
+            assert entry.dram_utilisation < 0.5
+
+    def test_reduction_vs_memory_centric_is_large(self, analyzer, network):
+        for entry in analyzer.network_bandwidth(network, batch=4):
+            assert entry.bandwidth_reduction_vs_memory_centric > 100
+
+    def test_weak_dram_interface_becomes_the_bottleneck(self, network):
+        weak = BandwidthAnalyzer(ChainConfig(),
+                                 dram_spec=DramSpec(peak_bandwidth_bytes_per_s=1e8,
+                                                    efficiency=0.5))
+        utilisations = [entry.dram_utilisation
+                        for entry in weak.network_bandwidth(network, batch=4)]
+        assert max(utilisations) > 1.0
+
+    def test_memory_centric_need_tracks_mac_rate(self, analyzer, network):
+        conv3 = analyzer.layer_bandwidth(network.conv_layer("conv3"))
+        # 3 operands x 2 bytes per MAC at the sustained MAC rate
+        assert conv3.memory_centric_bytes_per_second > 1e12
+
+
+class TestSummaryTable:
+    def test_rows_per_layer(self, analyzer, network):
+        table = analyzer.summary_table(network, batch=4)
+        assert set(table) == {"conv1", "conv2", "conv3", "conv4", "conv5"}
+        for row in table.values():
+            assert row["DRAM util. (%)"] < 100.0
+            assert row["chain input (words/cycle)"] <= 2 * 64
+
+    def test_gbytes_helper(self, analyzer, network):
+        entry = analyzer.layer_bandwidth(network.conv_layer("conv3"))
+        assert entry.chain_input_gbytes_per_second == pytest.approx(
+            entry.chain_input_words_per_cycle * 2 / 1e9)

@@ -1,0 +1,144 @@
+"""Tests for the cycle-accurate chain simulator (the ModelSim-check reproduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.layer import ConvLayer
+from repro.cnn.reference import conv2d_direct
+from repro.cnn.zoo import tiny_test_network
+from repro.core.config import ChainConfig
+from repro.core.performance import PerformanceModel
+from repro.errors import WorkloadError
+from repro.sim.cycle import CycleAccurateChainSimulator
+from repro.sim.trace import TraceEvent, TraceLog
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return CycleAccurateChainSimulator(ChainConfig())
+
+
+def _tensors(layer, seed=0):
+    return WorkloadGenerator(seed=seed).layer_pair(layer)
+
+
+class TestCycleAccurateCorrectness:
+    def test_stride1_layer(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_strided_layer(self, simulator, strided_layer):
+        ifmaps, weights = _tensors(strided_layer, seed=1)
+        result = simulator.run_layer(strided_layer, ifmaps, weights)
+        assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+        assert result.stats.outputs_discarded_by_stride > 0
+
+    def test_grouped_layer(self, simulator, grouped_layer):
+        ifmaps, weights = _tensors(grouped_layer, seed=2)
+        result = simulator.run_layer(grouped_layer, ifmaps, weights)
+        assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_k5_layer(self, simulator):
+        layer = ConvLayer("k5", 1, 2, 11, 11, kernel_size=5)
+        ifmaps, weights = _tensors(layer, seed=3)
+        result = simulator.run_layer(layer, ifmaps, weights)
+        assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_quantisation_error_vs_float_reference_is_small(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        float_reference = conv2d_direct(tiny_layer, ifmaps, weights)
+        error = float(np.max(np.abs(float_reference - result.ofmaps)))
+        rms = float(np.sqrt(np.mean(float_reference ** 2)))
+        assert error / rms < 0.02  # 16-bit quantisation noise only
+
+    def test_tiny_network_both_layers(self, simulator):
+        network = tiny_test_network()
+        gen = WorkloadGenerator(seed=5)
+        for layer in network.conv_layers:
+            ifmaps, weights = gen.layer_pair(layer)
+            result = simulator.run_layer(layer, ifmaps, weights)
+            assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_shape_validation(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        with pytest.raises(WorkloadError):
+            simulator.run_layer(tiny_layer, ifmaps[:1], weights)
+
+
+class TestCycleAccounting:
+    def test_macs_match_workload_plus_edge_work(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        # the chain also computes windows it later discards (padding edges),
+        # so the MAC count is at least the layer's useful MACs
+        assert result.stats.macs >= tiny_layer.macs
+
+    def test_kernel_load_cycles(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        assert result.stats.kernel_load_cycles == tiny_layer.weight_count
+
+    def test_outputs_collected_matches_output_volume(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        expected = (tiny_layer.out_height * tiny_layer.out_width * tiny_layer.out_channels
+                    * tiny_layer.in_channels_per_group)
+        assert result.stats.outputs_collected == expected
+
+    def test_detailed_analytical_model_brackets_simulated_cycles(self, tiny_layer):
+        """The detailed analytical cycle count stays within ~15 % of simulation."""
+        config = ChainConfig()
+        simulator = CycleAccurateChainSimulator(config)
+        ifmaps, weights = _tensors(tiny_layer)
+        sim_result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        detailed = PerformanceModel(config, mode="detailed")
+        mapping = detailed.mapper.map_layer(tiny_layer)
+        predicted_primitive_cycles = detailed.pair_cycles(tiny_layer) * mapping.channel_pairs
+        assert sim_result.stats.primitive_cycles == pytest.approx(
+            predicted_primitive_cycles, rel=0.15)
+
+    def test_stats_expose_formats(self, simulator, tiny_layer):
+        ifmaps, weights = _tensors(tiny_layer)
+        result = simulator.run_layer(tiny_layer, ifmaps, weights)
+        assert result.ifmap_format.total_bits == 16
+        assert result.weight_format.total_bits == 16
+        assert result.total_cycles_with_kernel_load > result.chain_cycles_estimate
+
+
+class TestTraceLog:
+    def test_record_and_query(self):
+        log = TraceLog()
+        log.record(1, "pe0", "mac", 5)
+        log.record(2, "pe1", "mac", 6)
+        log.record(3, "pe0", "stall")
+        assert len(log) == 3
+        assert len(log.by_source("pe0")) == 2
+        assert len(log.by_event("mac")) == 2
+        assert len(log.between(2, 3)) == 2
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(1, "x", "y")
+        assert len(log) == 0
+
+    def test_limit(self):
+        log = TraceLog(limit=2)
+        for cycle in range(5):
+            log.record(cycle, "x", "event")
+        assert len(log) == 2
+
+    def test_dump_format(self):
+        event = TraceEvent(cycle=7, source="pe3", event="mac", value=42)
+        text = TraceLog(events=[event]).dump()
+        assert "pe3" in text and "42" in text
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(1, "x", "y")
+        log.clear()
+        assert len(log) == 0
