@@ -37,13 +37,27 @@ from repro.core import (
     utilization_table,
 )
 from repro.energy import AreaModel, EnergyParams, PowerModel
+from repro.engine import (
+    Engine,
+    RunCache,
+    RunRecord,
+    SweepExecutor,
+    available_engines,
+    create_engine,
+)
 from repro.memory import TrafficModel
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "available_engines",
+    "create_engine",
     "ChainNN",
+    "Engine",
+    "RunCache",
+    "RunRecord",
+    "SweepExecutor",
     "ChainConfig",
     "ColumnScanSchedule",
     "SystolicPrimitive",

@@ -7,6 +7,10 @@ Two views are produced:
 * the *modelled* comparison — the same architectures evaluated by this
   library's models on the same workload, which is the reproduction of the
   "who wins and by how much" shape from first principles.
+
+The modelled view dispatches every architecture through the unified engine
+layer (:class:`~repro.engine.adapters.BaselineEngine`), so the comparison,
+the sweeps and the experiments all share one evaluation path.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ from repro.baselines.specs import (
 from repro.cnn.network import Network
 from repro.cnn.zoo import alexnet
 from repro.energy.technology import TSMC_28NM
+from repro.engine.adapters import BaselineEngine, summary_from_record
+from repro.engine.base import RunRecord
 
 
 @dataclass(frozen=True)
@@ -88,9 +94,19 @@ class StateOfTheArtComparison:
         )
         return [MemoryCentricAccelerator(), Spatial2DAccelerator.scaled_to_28nm(), chain]
 
+    def engines(self) -> List[BaselineEngine]:
+        """The architecture models wrapped as execution engines."""
+        return [BaselineEngine(model) for model in self.models()]
+
+    def modelled_records(self) -> List[RunRecord]:
+        """Evaluate every architecture through the unified engine layer."""
+        return [
+            engine.evaluate(self.network, None, self.batch) for engine in self.engines()
+        ]
+
     def modelled_summaries(self) -> List[AcceleratorSummary]:
         """Evaluate every model on the workload."""
-        return [model.summarise(self.network, self.batch) for model in self.models()]
+        return [summary_from_record(record) for record in self.modelled_records()]
 
     def modelled_table(self) -> Dict[str, Dict[str, object]]:
         """Table V regenerated from this library's models."""

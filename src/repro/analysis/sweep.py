@@ -5,6 +5,13 @@ higher parallelism or clock frequency"; these sweeps quantify that claim with
 the library's models: chain length, clock frequency, kMemory depth and kernel
 mix can all be varied and the resulting throughput / utilization / power /
 area trends collected in one table per sweep.
+
+Since the unified engine layer landed, every design point is evaluated
+through :class:`~repro.engine.executor.SweepExecutor`: pick any registered
+engine (``analytical``, ``analytical-detailed``, ``cycle``, ``functional``,
+...), optionally attach an on-disk :class:`~repro.engine.cache.RunCache`, and
+evaluate points in parallel — the sweep table is identical serial or
+parallel, cached or fresh.
 """
 
 from __future__ import annotations
@@ -14,11 +21,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cnn.network import Network
 from repro.cnn.zoo import alexnet
-from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
-from repro.core.performance import PerformanceModel
-from repro.core.utilization import minimum_utilization
+from repro.core.config import ChainConfig
 from repro.energy.area import AreaModel
-from repro.energy.power import PowerModel
+from repro.engine.adapters import worst_case_utilization
+from repro.engine.base import RunRecord
+from repro.engine.cache import RunCache
+from repro.engine.executor import SweepExecutor
 
 
 @dataclass(frozen=True)
@@ -49,30 +57,74 @@ class SweepPoint:
 
 
 class DesignSpaceExplorer:
-    """Evaluates Chain-NN variants over a workload."""
+    """Evaluates Chain-NN variants over a workload through one engine.
 
-    def __init__(self, network: Optional[Network] = None, batch: int = 128) -> None:
+    ``engine`` is any registered engine name; ``parallel`` fans design points
+    out over worker processes, and ``cache`` memoises results on disk so
+    repeated sweeps (and sweeps sharing points) skip re-evaluation.
+    """
+
+    def __init__(self, network: Optional[Network] = None, batch: int = 128,
+                 engine: str = "analytical", engine_kwargs: Optional[Dict] = None,
+                 cache: Optional[RunCache] = None, parallel: bool = False,
+                 max_workers: Optional[int] = None) -> None:
         self.network = network or alexnet()
         self.batch = batch
+        self.engine_name = engine
+        self.parallel = parallel
+        self.executor = SweepExecutor(
+            engine=engine,
+            network=self.network,
+            batch=batch,
+            engine_kwargs=engine_kwargs,
+            cache=cache,
+            max_workers=max_workers,
+        )
 
+    # ------------------------------------------------------------------ #
+    # point evaluation
+    # ------------------------------------------------------------------ #
     def evaluate(self, config: ChainConfig, label: Optional[str] = None) -> SweepPoint:
         """Evaluate one configuration."""
-        performance = PerformanceModel(config)
-        power = PowerModel(config, performance=performance)
-        area = AreaModel(config)
-        perf = performance.network_performance(self.network, self.batch)
-        report = power.network_power(self.network, self.batch)
-        kernel_sizes = [k for k in MAINSTREAM_KERNEL_SIZES if k * k <= config.num_pes]
-        worst = minimum_utilization(config.num_pes, kernel_sizes) if kernel_sizes else 0.0
+        return self._to_point(self.executor.evaluate(config), config, label)
+
+    def evaluate_many(self, configs: Sequence[ChainConfig],
+                      labels: Optional[Sequence[Optional[str]]] = None,
+                      parallel: Optional[bool] = None) -> List[SweepPoint]:
+        """Evaluate many configurations (in parallel when requested)."""
+        if labels is not None and len(labels) != len(configs):
+            raise ValueError(
+                f"got {len(labels)} labels for {len(configs)} configurations"
+            )
+        parallel = self.parallel if parallel is None else parallel
+        records = self.executor.run(configs, parallel=parallel)
+        labels = labels or [None] * len(configs)
+        return [
+            self._to_point(record, config, label)
+            for record, config, label in zip(records, configs, labels)
+        ]
+
+    def _to_point(self, record: RunRecord, config: ChainConfig,
+                  label: Optional[str] = None) -> SweepPoint:
+        """Build the sweep row from a run record, backfilling config-only
+        metrics (area, worst-case utilization) for engines that do not model
+        them."""
+        metrics = record.metrics
+        total_gates = metrics.get("total_gates")
+        if total_gates is None:
+            total_gates = AreaModel(config).report().total_gates
+        worst = metrics.get("worst_case_utilization")
+        if worst is None:
+            worst = worst_case_utilization(config)
         return SweepPoint(
             label=label or f"{config.num_pes} PEs @ {config.frequency_hz / 1e6:.0f} MHz",
             config=config,
-            peak_gops=config.peak_gops,
-            fps=perf.frames_per_second,
-            power_w=report.total_w,
-            gops_per_watt=report.gops_per_watt,
+            peak_gops=metrics.get("peak_gops", config.peak_gops),
+            fps=metrics.get("fps", 0.0),
+            power_w=metrics.get("power_w", 0.0),
+            gops_per_watt=metrics.get("gops_per_watt", 0.0),
             worst_case_utilization=worst,
-            total_gates=area.report().total_gates,
+            total_gates=total_gates,
         )
 
     # ------------------------------------------------------------------ #
@@ -82,31 +134,30 @@ class DesignSpaceExplorer:
                            base: Optional[ChainConfig] = None) -> List[SweepPoint]:
         """Vary the number of PEs at fixed frequency."""
         base = base or ChainConfig()
-        return [self.evaluate(base.with_pes(count)) for count in pe_counts]
+        return self.evaluate_many([base.with_pes(count) for count in pe_counts])
 
     def sweep_frequency(self, frequencies_mhz: Sequence[float] = (200, 350, 500, 700, 850, 1000),
                         base: Optional[ChainConfig] = None) -> List[SweepPoint]:
         """Vary the clock frequency at fixed chain length."""
         base = base or ChainConfig()
-        return [self.evaluate(base.with_frequency(f * 1e6)) for f in frequencies_mhz]
+        return self.evaluate_many([base.with_frequency(f * 1e6) for f in frequencies_mhz])
 
-    def sweep_batch_size(self, batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128)
-                         ) -> Dict[int, float]:
+    def sweep_batch_size(self, batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+                         base: Optional[ChainConfig] = None,
+                         parallel: Optional[bool] = None) -> Dict[int, float]:
         """Frame rate versus batch size (kernel loading amortisation, Sec. V.B)."""
-        performance = PerformanceModel(ChainConfig())
-        results = {}
-        for batch in batches:
-            perf = performance.network_performance(self.network, batch)
-            results[batch] = perf.frames_per_second
-        return results
+        config = base or ChainConfig()
+        parallel = self.parallel if parallel is None else parallel
+        records = self.executor.run_batches(config, batches, parallel=parallel)
+        return {batch: record.metrics.get("fps", 0.0)
+                for batch, record in zip(batches, records)}
 
     def utilization_by_chain_length(self, low: int = 128, high: int = 1152, step: int = 32
                                     ) -> Dict[int, float]:
         """Worst-case spatial utilization across the mainstream kernel sizes."""
         results = {}
         for num_pes in range(low, high + 1, step):
-            sizes = [k for k in MAINSTREAM_KERNEL_SIZES if k * k <= num_pes]
-            if not sizes:
-                continue
-            results[num_pes] = minimum_utilization(num_pes, sizes)
+            utilization = worst_case_utilization(ChainConfig(num_pes=num_pes))
+            if utilization > 0.0:
+                results[num_pes] = utilization
         return results

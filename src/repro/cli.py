@@ -5,21 +5,30 @@ writing any Python:
 
 * ``info``        — describe the configured accelerator (peak GOPS, memories,
   Table II utilization);
-* ``run``         — evaluate a zoo network (fps, GOPS, power, traffic);
-* ``experiments`` — regenerate every paper table/figure (paper vs measured);
-* ``sweep``       — chain-length / frequency / batch design-space sweeps;
+* ``engines``     — list the registered execution engines;
+* ``run``         — evaluate a zoo network through any engine (fps, GOPS,
+  power, traffic), with ``--mode {paper,detailed}`` fidelity selection;
+* ``experiments`` — regenerate every paper table/figure (paper vs measured),
+  with ``--json`` machine-readable headline export;
+* ``sweep``       — chain-length / frequency / batch design-space sweeps,
+  with ``--engine``, ``--parallel`` and an on-disk result cache;
 * ``verify``      — run the cycle-accurate simulator on small layers and check
-  against the software reference.
+  the vectorized fast path against the scalar reference.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
-instantiations can be explored from the shell.
+instantiations can be explored from the shell.  All evaluation dispatches
+through the unified engine layer (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
+
+import numpy as np
 
 from repro.analysis.report import render_bar_chart, render_dict_table, render_table
 from repro.analysis.sweep import DesignSpaceExplorer
@@ -28,8 +37,10 @@ from repro.cnn.zoo import NETWORKS, get_network, tiny_test_network
 from repro.core.accelerator import ChainNN
 from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.utilization import utilization_table
+from repro.engine import CACHE_DIR_ENV, RunCache, available_engines, create_engine
 from repro.hwmodel.clock import ClockDomain
-from repro.sim.cycle import CycleAccurateChainSimulator
+from repro.memory.traffic import TrafficModel
+from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
 
 
 def _config_from_args(args: argparse.Namespace) -> ChainConfig:
@@ -37,6 +48,26 @@ def _config_from_args(args: argparse.Namespace) -> ChainConfig:
         num_pes=args.pes,
         clock=ClockDomain(args.frequency_mhz * 1e6),
     )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[RunCache]:
+    """Sweep cache selection: ``--cache-dir`` wins, else ``$REPRO_CACHE_DIR``
+    enables the default location, else caching stays off."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        return RunCache(cache_dir)
+    if os.environ.get(CACHE_DIR_ENV):
+        return RunCache()
+    return None
 
 
 # --------------------------------------------------------------------- #
@@ -57,30 +88,81 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    network = get_network(args.network)
-    chip = ChainNN(config)
-    result = chip.run_network(network, batch=args.batch)
-    summary = result.summary()
-    print(chip.describe())
-    print(network.summary())
-    print()
-    print(render_table([summary], title=f"{network.name}, batch {args.batch}"))
-    print()
-    print(render_bar_chart(result.performance.layer_times_ms(),
-                           title="Per-layer convolution time (ms)", unit=" ms"))
-    if args.traffic:
-        print()
-        print(render_dict_table(result.traffic.table(), title="Memory traffic (MB)",
-                                row_label="layer"))
+def cmd_engines(args: argparse.Namespace) -> int:
+    print("registered engines:")
+    for name in available_engines():
+        print(f"  {name}")
     return 0
 
 
-def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_all
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    network = get_network(args.network)
+    engine_kwargs = {}
+    if args.engine == "analytical":
+        engine_kwargs = {"mode": args.mode or "paper"}
+    elif args.mode is not None:
+        expected = "detailed" if args.engine == "analytical-detailed" else None
+        if args.mode != expected:
+            print(f"error: --mode {args.mode} conflicts with --engine {args.engine}",
+                  file=sys.stderr)
+            return 2
+    engine = create_engine(args.engine, **engine_kwargs)
+    record = engine.evaluate(network, config, batch=args.batch)
 
-    report = run_all()
+    # the traffic model is config-derived, so --traffic works with any engine
+    traffic = (TrafficModel(config).network_traffic(network, args.batch)
+               if args.traffic else None)
+
+    if args.json:
+        payload = record.to_json_dict()
+        if traffic is not None:
+            payload["traffic_mb"] = traffic.table()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.engine.startswith("analytical"):
+        summary_keys = ("batch", "fps", "conv_time_per_batch_ms", "kernel_load_time_ms",
+                        "achieved_gops", "total_power_w", "gops_per_watt")
+        summary = {key: record.metrics[key] for key in summary_keys}
+        print(record.config_summary)
+        print(network.summary())
+        print()
+        print(render_table([summary],
+                           title=f"{network.name}, batch {args.batch} ({record.engine})"))
+        print()
+        print(render_bar_chart(record.extra["layer_times_ms"],
+                               title="Per-layer convolution time (ms)", unit=" ms"))
+        _print_traffic(traffic)
+        return 0
+
+    print(record.config_summary or config.describe())
+    print(network.summary())
+    print()
+    rows = {record.engine: {k: v for k, v in sorted(record.metrics.items())}}
+    print(render_dict_table(rows, title=f"{network.name}, batch {args.batch}",
+                            row_label="engine"))
+    _print_traffic(traffic)
+    return 0
+
+
+def _print_traffic(traffic) -> None:
+    if traffic is not None:
+        print()
+        print(render_dict_table(traffic.table(), title="Memory traffic (MB)",
+                                row_label="layer"))
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    if args.json or args.write_md:
+        # one implementation of the export paths for both entry points
+        argv = ["--json"] if args.json else []
+        if args.write_md:
+            argv += ["--write-md", args.write_md]
+        return runner.main(argv)
+    report = runner.run_all()
     print(report.report())
     print()
     for key, value in report.headline().items():
@@ -89,36 +171,75 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    explorer = DesignSpaceExplorer(get_network(args.network), batch=args.batch)
+    explorer = DesignSpaceExplorer(
+        get_network(args.network),
+        batch=args.batch,
+        engine=args.engine,
+        cache=_cache_from_args(args),
+        parallel=args.parallel,
+        max_workers=args.jobs,
+    )
+    base = _config_from_args(args)
     if args.axis == "pes":
-        points = explorer.sweep_chain_length()
+        points = explorer.sweep_chain_length(base=base)
     elif args.axis == "frequency":
-        points = explorer.sweep_frequency()
+        points = explorer.sweep_frequency(base=base)
     else:
-        fps = explorer.sweep_batch_size()
+        fps = explorer.sweep_batch_size(base=base)
+        if args.json:
+            print(json.dumps({"axis": "batch", "engine": args.engine,
+                              "network": args.network,
+                              "fps_by_batch": {str(b): v for b, v in fps.items()}},
+                             indent=2, sort_keys=True))
+            return 0
         print(render_bar_chart({f"batch {b}": value for b, value in fps.items()},
                                title="fps vs batch size", unit=" fps"))
         return 0
+    if args.json:
+        payload = {
+            "axis": args.axis,
+            "engine": args.engine,
+            "network": args.network,
+            "batch": args.batch,
+            "parallel": args.parallel,
+            "points": [{"label": point.label, **point.as_row()} for point in points],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(render_table([point.as_row() for point in points],
-                       title=f"{args.axis} sweep on {args.network}",
+                       title=f"{args.axis} sweep on {args.network} ({args.engine})",
                        row_names=[point.label for point in points], row_label="point"))
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    simulator = CycleAccurateChainSimulator(config)
+    backends = list(CYCLE_BACKENDS) if args.backend == "both" else [args.backend]
+    simulators = {
+        backend: CycleAccurateChainSimulator(config, backend=backend)
+        for backend in backends
+    }
     generator = WorkloadGenerator(seed=args.seed)
     failures = 0
     for layer in tiny_test_network().conv_layers:
         ifmaps, weights = generator.layer_pair(layer)
-        result = simulator.run_layer(layer, ifmaps, weights)
+        results = {
+            backend: simulator.run_layer(layer, ifmaps, weights)
+            for backend, simulator in simulators.items()
+        }
+        result = next(iter(results.values()))
         status = "ok" if (result.reference_max_abs_error or 0.0) < 1e-9 else "MISMATCH"
+        if len(results) == 2:
+            vec, scalar = results["vectorized"], results["scalar"]
+            if not (np.array_equal(vec.ofmaps, scalar.ofmaps)
+                    and vec.stats == scalar.stats):
+                status = "BACKEND-MISMATCH"
         if status != "ok":
             failures += 1
         print(f"{layer.name:<10} K={layer.kernel_size} "
               f"max|err|={result.reference_max_abs_error:.2e} "
-              f"cycles={result.stats.primitive_cycles:<8} {status}")
+              f"cycles={result.stats.primitive_cycles:<8} "
+              f"[{'+'.join(backends)}] {status}")
     print("verification " + ("PASSED" if failures == 0 else f"FAILED ({failures} layers)"))
     return 0 if failures == 0 else 1
 
@@ -136,21 +257,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="describe the accelerator and its Table II utilization")
+    sub.add_parser("engines", help="list the registered execution engines")
 
     run = sub.add_parser("run", help="evaluate a zoo network")
     run.add_argument("network", choices=sorted(NETWORKS), help="network to evaluate")
     run.add_argument("--batch", type=int, default=4, help="batch size")
+    run.add_argument("--mode", choices=("paper", "detailed"), default=None,
+                     help="analytical fidelity mode (paper-idealised or "
+                          "register-level); only valid with analytical engines")
+    run.add_argument("--engine", choices=available_engines(), default="analytical",
+                     help="execution engine to dispatch through")
+    run.add_argument("--json", action="store_true", help="emit the run record as JSON")
     run.add_argument("--traffic", action="store_true", help="also print the traffic table")
 
-    sub.add_parser("experiments", help="regenerate every paper table and figure")
+    experiments = sub.add_parser("experiments",
+                                 help="regenerate every paper table and figure")
+    experiments.add_argument("--json", action="store_true",
+                             help="emit the headline numbers as JSON")
+    experiments.add_argument("--write-md", nargs="?", const="EXPERIMENTS.md", default=None,
+                             metavar="PATH", help="write EXPERIMENTS.md and exit")
 
     sweep = sub.add_parser("sweep", help="design-space sweeps")
     sweep.add_argument("axis", choices=("pes", "frequency", "batch"), help="sweep axis")
     sweep.add_argument("--network", default="alexnet", choices=sorted(NETWORKS))
     sweep.add_argument("--batch", type=int, default=16)
+    config_sensitive = tuple(name for name in available_engines()
+                             if not name.startswith("baseline-"))
+    sweep.add_argument("--engine", choices=config_sensitive, default="analytical",
+                       help="engine evaluating each design point (baselines are "
+                            "fixed architectures and cannot be swept)")
+    sweep.add_argument("--parallel", action="store_true",
+                       help="evaluate design points in worker processes")
+    sweep.add_argument("--jobs", type=_positive_int, default=None,
+                       help="worker processes for --parallel "
+                            "(default: min(points, CPU cores))")
+    sweep.add_argument("--json", action="store_true", help="emit the sweep table as JSON")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="memoise design points in this directory "
+                            f"(${CACHE_DIR_ENV} enables the default location)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache even when "
+                            f"${CACHE_DIR_ENV} is set")
 
     verify = sub.add_parser("verify", help="cycle-accurate verification on small layers")
     verify.add_argument("--seed", type=int, default=2017)
+    verify.add_argument("--backend", choices=CYCLE_BACKENDS + ("both",), default="both",
+                        help="simulator backend (default: cross-check both)")
 
     return parser
 
@@ -160,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "info": cmd_info,
+        "engines": cmd_engines,
         "run": cmd_run,
         "experiments": cmd_experiments,
         "sweep": cmd_sweep,

@@ -1,0 +1,61 @@
+"""Unified execution-engine layer.
+
+One ``Engine`` interface over every evaluator of the library — the analytical
+models (``paper`` and ``detailed`` fidelity), the cycle-accurate simulator
+(vectorized or scalar backend), the functional simulator and the Table V
+baselines — plus a registry to instantiate engines by name, a deterministic
+on-disk result cache and a parallel sweep executor.
+
+>>> from repro.engine import available_engines, create_engine
+>>> "analytical" in available_engines() and "cycle" in available_engines()
+True
+"""
+
+from repro.engine.adapters import (
+    DEFAULT_ENGINES,
+    AnalyticalEngine,
+    BaselineEngine,
+    CycleEngine,
+    FunctionalEngine,
+    summary_from_record,
+    worst_case_utilization,
+)
+from repro.engine.base import Engine, RunRecord
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    RunCache,
+    default_cache_dir,
+    run_key,
+    workload_fingerprint,
+)
+from repro.engine.executor import SweepExecutor
+from repro.engine.registry import (
+    available_engines,
+    create_engine,
+    engine_registered,
+    register_engine,
+    unregister_engine,
+)
+
+__all__ = [
+    "AnalyticalEngine",
+    "BaselineEngine",
+    "CACHE_DIR_ENV",
+    "CycleEngine",
+    "DEFAULT_ENGINES",
+    "Engine",
+    "FunctionalEngine",
+    "RunCache",
+    "RunRecord",
+    "SweepExecutor",
+    "available_engines",
+    "create_engine",
+    "default_cache_dir",
+    "engine_registered",
+    "register_engine",
+    "run_key",
+    "summary_from_record",
+    "unregister_engine",
+    "workload_fingerprint",
+    "worst_case_utilization",
+]

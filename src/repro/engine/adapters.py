@@ -1,0 +1,404 @@
+"""Engine adapters: every evaluator of the library behind one interface.
+
+* :class:`AnalyticalEngine` — the :class:`~repro.core.accelerator.ChainNN`
+  facade (performance + power + area + utilization) in either fidelity mode;
+* :class:`CycleEngine` — the cycle-accurate simulator (vectorized fast path
+  or register-accurate scalar cross-check) on synthetic seeded tensors;
+* :class:`FunctionalEngine` — the dataflow-level simulator;
+* :class:`BaselineEngine` — any :class:`~repro.baselines.base.AcceleratorModel`
+  (Chain-NN itself, the memory-centric DaDianNao-like and the 2D spatial
+  Eyeriss-like baselines of Table V).
+
+Importing this module registers the default engine names listed in
+:data:`DEFAULT_ENGINES`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from repro.baselines.base import AcceleratorModel, AcceleratorSummary
+from repro.baselines.chain_nn_model import ChainNNModel
+from repro.baselines.memory_centric import MemoryCentricAccelerator
+from repro.baselines.spatial_2d import Spatial2DAccelerator
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.network import Network
+from repro.core.accelerator import ChainNN
+from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
+from repro.core.utilization import minimum_utilization
+from repro.energy.area import AreaModel
+from repro.engine.base import Engine, RunRecord
+from repro.engine.cache import canonical_json, config_fingerprint, workload_fingerprint
+from repro.engine.registry import register_engine
+from repro.sim.cycle import CycleAccurateChainSimulator
+from repro.sim.functional import FunctionalChainSimulator
+
+
+def worst_case_utilization(config: ChainConfig) -> float:
+    """Worst-case spatial utilization over the mainstream kernel sizes."""
+    sizes = [k for k in MAINSTREAM_KERNEL_SIZES if k * k <= config.num_pes]
+    return minimum_utilization(config.num_pes, sizes) if sizes else 0.0
+
+
+class AnalyticalEngine(Engine):
+    """Analytical Chain-NN models (the Fig. 9 / Fig. 10 / sweep substrate)."""
+
+    def __init__(self, config: Optional[ChainConfig] = None, mode: str = "paper",
+                 chip: Optional[ChainNN] = None) -> None:
+        # an injected chip defines the fidelity mode (so records and cache
+        # fingerprints stay truthful); otherwise one is built for `mode`
+        self.mode = chip.performance_model.mode if chip is not None else mode
+        self._chip = chip or ChainNN(config, performance_mode=mode)
+        self.name = "analytical" if self.mode == "paper" else f"analytical-{self.mode}"
+
+    @property
+    def chip(self) -> ChainNN:
+        """The underlying facade (default-config instance)."""
+        return self._chip
+
+    def _chip_for(self, config: Optional[ChainConfig]) -> ChainNN:
+        if config is None or config == self._chip.config:
+            return self._chip
+        # carry the (possibly calibrated) unit energies over, so evaluations
+        # at other design points use the same power model the fingerprint
+        # advertises
+        return ChainNN(config, performance_mode=self.mode,
+                       energy=self._chip.power_model.energy)
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        chip = self._chip_for(config)
+        result = chip.run_network(network, batch)
+        area = AreaModel(chip.config)
+        metrics = dict(result.summary())
+        metrics.update(
+            peak_gops=chip.peak_gops,
+            power_w=result.power.total_w,
+            total_time_per_batch_s=result.performance.total_time_per_batch_s,
+            total_gates=area.report().total_gates,
+            worst_case_utilization=worst_case_utilization(chip.config),
+            onchip_memory_bytes=float(chip.config.onchip_memory_bytes),
+            dram_traffic_mb=result.traffic.totals()["DRAM"],
+        )
+        extra: Dict[str, Any] = {
+            "layer_times_ms": result.performance.layer_times_ms(),
+            "kernel_load_times_ms": result.performance.kernel_load_times_ms(),
+        }
+        return RunRecord(
+            engine=self.name,
+            network=network.name,
+            batch=batch,
+            config_summary=chip.config.describe(),
+            metrics=metrics,
+            extra=extra,
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        # the default config and (possibly calibrated) unit energies decide
+        # what a config=None evaluation returns, so they enter the cache key
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "default_config": dataclasses.asdict(self._chip.config),
+            "energy": dataclasses.asdict(self._chip.power_model.energy),
+        }
+
+
+class CycleEngine(Engine):
+    """Cycle-accurate simulation of every conv layer on seeded tensors."""
+
+    def __init__(self, backend: str = "vectorized", seed: int = 2017,
+                 total_bits: int = 16, check_against_reference: bool = True) -> None:
+        self.backend = backend
+        self.seed = seed
+        self.total_bits = total_bits
+        self.check_against_reference = check_against_reference
+        self.name = "cycle" if backend == "vectorized" else f"cycle-{backend}"
+        # the simulation itself is batch-independent (batch only scales the
+        # time arithmetic), so one (config, workload) simulation serves every
+        # batch size — e.g. the whole Sec. V.B batch sweep
+        self._memo: Dict[str, Dict[str, Any]] = {}
+
+    def _simulate(self, network: Network, config: ChainConfig) -> Dict[str, Any]:
+        memo_key = canonical_json({
+            "config": config_fingerprint(config),
+            "workload": workload_fingerprint(network),
+        })
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        simulator = CycleAccurateChainSimulator(
+            config, total_bits=self.total_bits, backend=self.backend
+        )
+        generator = WorkloadGenerator(seed=self.seed)
+        layers: Dict[str, Dict[str, float]] = {}
+        conv_cycles = 0.0
+        kernel_load_cycles = 0
+        macs = 0
+        outputs = 0
+        max_error = 0.0
+        for layer in network.conv_layers:
+            ifmaps, weights = generator.layer_pair(layer)
+            result = simulator.run_layer(
+                layer, ifmaps, weights,
+                check_against_reference=self.check_against_reference,
+            )
+            conv_cycles += result.chain_cycles_estimate
+            kernel_load_cycles += result.stats.kernel_load_cycles
+            macs += result.stats.macs
+            outputs += result.stats.outputs_collected
+            error = result.reference_max_abs_error or 0.0
+            max_error = max(max_error, error)
+            layers[layer.name] = {
+                "chain_cycles": result.chain_cycles_estimate,
+                "primitive_cycles": float(result.stats.primitive_cycles),
+                "macs": float(result.stats.macs),
+                "outputs_collected": float(result.stats.outputs_collected),
+                "max_abs_error": error,
+            }
+        data = {
+            "conv_cycles": conv_cycles,
+            "kernel_load_cycles": kernel_load_cycles,
+            "macs": macs,
+            "outputs": outputs,
+            "max_error": max_error,
+            "layers": layers,
+        }
+        self._memo[memo_key] = data
+        return data
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        config = config or ChainConfig()
+        sim = self._simulate(network, config)
+        conv_cycles = sim["conv_cycles"]
+        kernel_load_cycles = sim["kernel_load_cycles"]
+        frequency = config.frequency_hz
+        total_time_s = (conv_cycles * batch + kernel_load_cycles) / frequency
+        fps = batch / total_time_s if total_time_s else 0.0
+        metrics = {
+            "fps": fps,
+            "conv_cycles_per_image": conv_cycles,
+            "kernel_load_cycles": float(kernel_load_cycles),
+            "total_time_per_batch_s": total_time_s,
+            "simulated_macs": float(sim["macs"]),
+            "outputs_collected": float(sim["outputs"]),
+            "max_abs_error": sim["max_error"],
+            "peak_gops": config.peak_gops,
+        }
+        layers = sim["layers"]
+        return RunRecord(
+            engine=self.name,
+            network=network.name,
+            batch=batch,
+            config_summary=config.describe(),
+            metrics=metrics,
+            extra={"layers": layers, "backend": self.backend},
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "seed": self.seed,
+            "total_bits": self.total_bits,
+            "check": self.check_against_reference,
+        }
+
+
+class FunctionalEngine(Engine):
+    """Dataflow-level simulation (window enumeration) of every conv layer."""
+
+    def __init__(self, seed: int = 2017) -> None:
+        self.seed = seed
+        self.name = "functional"
+        self._memo: Dict[str, Dict[str, Any]] = {}
+
+    def _simulate(self, network: Network, config: ChainConfig) -> Dict[str, Any]:
+        memo_key = canonical_json({
+            "config": config_fingerprint(config),
+            "workload": workload_fingerprint(network),
+        })
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        simulator = FunctionalChainSimulator(config)
+        generator = WorkloadGenerator(seed=self.seed)
+        layers: Dict[str, Dict[str, float]] = {}
+        chain_cycles = 0.0
+        windows_kept = 0
+        max_error = 0.0
+        for layer in network.conv_layers:
+            ifmaps, weights = generator.layer_pair(layer)
+            result = simulator.run_layer(layer, ifmaps, weights)
+            error = result.max_abs_error_vs_reference(ifmaps, weights)
+            chain_cycles += result.chain_cycles_estimate
+            windows_kept += result.stats.windows_kept
+            max_error = max(max_error, error)
+            layers[layer.name] = {
+                "chain_cycles": result.chain_cycles_estimate,
+                "windows_kept": float(result.stats.windows_kept),
+                "stride_discard_fraction": result.stats.stride_discard_fraction,
+                "max_abs_error": error,
+            }
+        data = {
+            "chain_cycles": chain_cycles,
+            "windows_kept": windows_kept,
+            "max_error": max_error,
+            "layers": layers,
+        }
+        self._memo[memo_key] = data
+        return data
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        config = config or ChainConfig()
+        sim = self._simulate(network, config)
+        chain_cycles = sim["chain_cycles"]
+        total_time_s = chain_cycles * batch / config.frequency_hz
+        metrics = {
+            "fps": batch / total_time_s if total_time_s else 0.0,
+            "conv_cycles_per_image": chain_cycles,
+            "windows_kept": float(sim["windows_kept"]),
+            "max_abs_error": sim["max_error"],
+            "total_time_per_batch_s": total_time_s,
+            "peak_gops": config.peak_gops,
+        }
+        return RunRecord(
+            engine=self.name,
+            network=network.name,
+            batch=batch,
+            config_summary=config.describe(),
+            metrics=metrics,
+            extra={"layers": sim["layers"]},
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed}
+
+
+class BaselineEngine(Engine):
+    """Any Table V :class:`AcceleratorModel` as an engine (config is ignored)."""
+
+    def __init__(self, model: AcceleratorModel, name: Optional[str] = None) -> None:
+        self.model = model
+        self.name = name or f"baseline-{_slug(model.name)}"
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        summary = self.model.summarise(network, batch)
+        metrics = {
+            "fps": 0.0,
+            "peak_gops": summary.peak_gops,
+            "achieved_gops": summary.achieved_gops,
+            "power_w": summary.power_w,
+            "gops_per_watt": summary.energy_efficiency_gops_w,
+            "parallelism": float(summary.parallelism),
+            "frequency_hz": summary.frequency_hz,
+        }
+        time_s = self.model.workload_time_s(network, batch)
+        if time_s > 0:
+            metrics["fps"] = batch / time_s
+            metrics["total_time_per_batch_s"] = time_s
+        return RunRecord(
+            engine=self.name,
+            network=network.name,
+            batch=batch,
+            config_summary=f"{self.model.name} @ {summary.technology}",
+            metrics=metrics,
+            extra={"summary": asdict(summary)},
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        fingerprint: Dict[str, Any] = {
+            "name": self.name,
+            "model": self.model.name,
+            "technology": self.model.technology.name,
+            "parallelism": self.model.parallelism,
+            "frequency_hz": self.model.frequency_hz,
+        }
+        chip = getattr(self.model, "chip", None)
+        if chip is not None:
+            # Chain-NN baseline: configuration and calibrated energies decide
+            # the modelled numbers
+            fingerprint["default_config"] = dataclasses.asdict(chip.config)
+            fingerprint["energy"] = dataclasses.asdict(chip.power_model.energy)
+        return fingerprint
+
+
+def _slug(text: str) -> str:
+    """Lower-case dash-separated identifier from a human-readable name."""
+    out = []
+    for char in text.lower():
+        if char.isalnum():
+            out.append(char)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")
+
+
+def summary_from_record(record: RunRecord) -> AcceleratorSummary:
+    """Rebuild the Table V :class:`AcceleratorSummary` a baseline record carries."""
+    data = dict(record.extra["summary"])
+    if data.get("onchip_memory_bytes") is not None:
+        data["onchip_memory_bytes"] = int(data["onchip_memory_bytes"])
+    data["parallelism"] = int(data["parallelism"])
+    data["batch"] = int(data["batch"])
+    return AcceleratorSummary(**data)
+
+
+# --------------------------------------------------------------------- #
+# default registrations
+# --------------------------------------------------------------------- #
+def _make_analytical(**kwargs) -> AnalyticalEngine:
+    return AnalyticalEngine(**kwargs)
+
+
+def _make_analytical_detailed(**kwargs) -> AnalyticalEngine:
+    kwargs.setdefault("mode", "detailed")
+    return AnalyticalEngine(**kwargs)
+
+
+def _make_cycle(**kwargs) -> CycleEngine:
+    return CycleEngine(**kwargs)
+
+
+def _make_cycle_scalar(**kwargs) -> CycleEngine:
+    kwargs.setdefault("backend", "scalar")
+    return CycleEngine(**kwargs)
+
+
+def _make_functional(**kwargs) -> FunctionalEngine:
+    return FunctionalEngine(**kwargs)
+
+
+def _make_baseline_chain_nn(calibrate_power_to: Optional[Network] = None,
+                            **kwargs) -> BaselineEngine:
+    model = ChainNNModel(calibrate_power_to=calibrate_power_to)
+    return BaselineEngine(model, name="baseline-chain-nn", **kwargs)
+
+
+def _make_baseline_eyeriss(**kwargs) -> BaselineEngine:
+    return BaselineEngine(Spatial2DAccelerator.scaled_to_28nm(),
+                          name="baseline-eyeriss", **kwargs)
+
+
+def _make_baseline_dadiannao(**kwargs) -> BaselineEngine:
+    return BaselineEngine(MemoryCentricAccelerator(),
+                          name="baseline-dadiannao", **kwargs)
+
+
+#: engines registered on import, keyed by registry name
+DEFAULT_ENGINES = {
+    "analytical": _make_analytical,
+    "analytical-detailed": _make_analytical_detailed,
+    "cycle": _make_cycle,
+    "cycle-scalar": _make_cycle_scalar,
+    "functional": _make_functional,
+    "baseline-chain-nn": _make_baseline_chain_nn,
+    "baseline-eyeriss": _make_baseline_eyeriss,
+    "baseline-dadiannao": _make_baseline_dadiannao,
+}
+
+for _name, _factory in DEFAULT_ENGINES.items():
+    register_engine(_name, _factory)

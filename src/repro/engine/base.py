@@ -1,0 +1,132 @@
+"""The ``Engine`` interface: one way to evaluate any model on any workload.
+
+Historically every consumer (sweeps, the Table V comparison, the experiment
+runner, the CLI, the benchmarks) hand-wired its own combination of
+:class:`~repro.core.performance.PerformanceModel`,
+:class:`~repro.energy.power.PowerModel`, cycle/functional simulators and
+baselines.  The engine layer collapses those call sites onto a single
+protocol:
+
+    ``engine.evaluate(network, config, batch) -> RunRecord``
+
+where the :class:`RunRecord` is a flat, JSON-serialisable summary that the
+sweep executor can cache on disk and ship across process boundaries.
+Concrete engines live in :mod:`repro.engine.adapters` and are instantiated
+by name through :mod:`repro.engine.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One engine evaluation of one workload at one design point.
+
+    Attributes
+    ----------
+    engine:
+        Registry name of the engine that produced the record.
+    network:
+        Name of the evaluated network.
+    batch:
+        Batch size the metrics are reported for.
+    config_summary:
+        Human-readable description of the evaluated configuration (empty for
+        engines that ignore the chain configuration, e.g. baselines).
+    metrics:
+        Flat ``name -> float`` mapping of headline numbers.  Common keys:
+        ``fps``, ``achieved_gops``, ``peak_gops``, ``power_w``,
+        ``gops_per_watt``, ``total_time_per_batch_s``.
+    extra:
+        JSON-serialisable engine-specific payload (per-layer tables, the full
+        accelerator summary of a baseline, reference-check errors, ...).
+    cache_key:
+        Content hash under which the record is (or would be) cached.
+    cached:
+        True when the record was served from the on-disk cache rather than
+        evaluated.
+    """
+
+    engine: str
+    network: str
+    batch: int
+    config_summary: str
+    metrics: Dict[str, float]
+    extra: Dict[str, Any] = field(default_factory=dict)
+    cache_key: Optional[str] = None
+    cached: bool = False
+
+    def metric(self, name: str, default: Optional[float] = None) -> float:
+        """Look up one metric, raising a helpful error when it is absent."""
+        if name in self.metrics:
+            return self.metrics[name]
+        if default is not None:
+            return default
+        raise ConfigurationError(
+            f"engine {self.engine!r} produced no metric {name!r} "
+            f"(available: {sorted(self.metrics)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialisation (used by the on-disk cache)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form suitable for ``json.dump``."""
+        return {
+            "engine": self.engine,
+            "network": self.network,
+            "batch": self.batch,
+            "config_summary": self.config_summary,
+            "metrics": dict(self.metrics),
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_json_dict` output."""
+        return cls(
+            engine=data["engine"],
+            network=data["network"],
+            batch=int(data["batch"]),
+            config_summary=data.get("config_summary", ""),
+            metrics={str(k): float(v) for k, v in data.get("metrics", {}).items()},
+            extra=data.get("extra", {}),
+        )
+
+    def with_cache_info(self, cache_key: str, cached: bool) -> "RunRecord":
+        """Copy of this record annotated with its cache provenance."""
+        return replace(self, cache_key=cache_key, cached=cached)
+
+
+class Engine(abc.ABC):
+    """Anything that can evaluate a network on a configuration.
+
+    Implementations must be deterministic: the same (engine fingerprint,
+    config, workload, batch) quadruple must produce the same record, which is
+    what makes the on-disk memoisation of
+    :class:`~repro.engine.executor.SweepExecutor` sound.
+    """
+
+    #: registry name (set by the adapter; used in records and cache keys)
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        """Evaluate ``network`` at ``config`` (engine default when ``None``)."""
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Engine identity entering the cache key.
+
+        Adapters extend this with every parameter that can change the result
+        (fidelity mode, simulation backend, tensor seed, ...).
+        """
+        return {"name": self.name}

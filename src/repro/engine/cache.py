@@ -1,0 +1,147 @@
+"""Deterministic on-disk memoisation of engine evaluations.
+
+A run is identified by the SHA-256 of the canonical JSON encoding of
+
+    (engine fingerprint, chain configuration, workload fingerprint, batch)
+
+so the key is stable across processes and sessions: the same design point
+evaluated by the same engine on the same workload always maps to the same
+file, and a cache hit returns the stored :class:`~repro.engine.base.RunRecord`
+without evaluating anything.  Records are stored one-JSON-file-per-key with
+atomic writes, which makes the cache safe under the parallel sweep executor
+(two workers racing on the same key simply write identical bytes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.engine.base import Engine, RunRecord
+
+#: environment variable overriding the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: cache-key schema generation — bump whenever model code changes in a way
+#: that should invalidate previously cached results (keys also embed the
+#: package version, so releases invalidate automatically)
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-chain-nn``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-chain-nn"
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=_encode)
+
+
+def _encode(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    raise TypeError(f"cannot canonicalise {type(obj).__name__}")
+
+
+def config_fingerprint(config: Optional[ChainConfig]) -> Dict[str, Any]:
+    """Content identity of a chain configuration (``{}`` when unset)."""
+    if config is None:
+        return {}
+    return dataclasses.asdict(config)
+
+
+def workload_fingerprint(network: Network) -> Dict[str, Any]:
+    """Content identity of a workload: name plus every conv-layer geometry."""
+    return {
+        "name": network.name,
+        "conv_layers": [dataclasses.asdict(layer) for layer in network.conv_layers],
+    }
+
+
+def run_key(engine: Engine, network: Network, config: Optional[ChainConfig],
+            batch: int) -> str:
+    """Cache key of one evaluation (versioned so stale results die on upgrade)."""
+    from repro import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "engine": engine.fingerprint(),
+        "config": config_fingerprint(config),
+        "workload": workload_fingerprint(network),
+        "batch": batch,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """One-file-per-record JSON cache with hit/miss accounting."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # path handling
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """File under which ``key`` is (or would be) stored."""
+        return self.root / f"{key}.json"
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[RunRecord]:
+        """Stored record for ``key`` or ``None`` (corrupt entries are misses)."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            record = RunRecord.from_json_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record.with_cache_info(cache_key=key, cached=True)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.to_json_dict(), sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

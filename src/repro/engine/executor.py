@@ -1,0 +1,186 @@
+"""Parallel, cached evaluation of design-point sweeps.
+
+:class:`SweepExecutor` turns a list of :class:`~repro.core.config.ChainConfig`
+design points into :class:`~repro.engine.base.RunRecord` results through one
+engine, with two orthogonal accelerations:
+
+* **memoisation** — every evaluation is keyed by a content hash (see
+  :mod:`repro.engine.cache`); cached points are served from disk without
+  touching the engine, so re-running a sweep after adding one point only
+  evaluates the new point;
+* **parallelism** — uncached points are fanned out over a
+  ``ProcessPoolExecutor``.  Workers rebuild the engine from its registry name
+  (engines themselves are not shipped across the process boundary), which
+  keeps the payload small and fork/spawn agnostic.  When a pool cannot be
+  created (restricted sandboxes, missing semaphores) the executor silently
+  degrades to the serial path — results are identical either way, only the
+  wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.engine.base import Engine, RunRecord
+from repro.engine.cache import RunCache, run_key
+from repro.engine.registry import create_engine
+
+
+def _evaluate_point(engine_name: str, engine_kwargs: Dict, network: Network,
+                    config: Optional[ChainConfig], batch: int) -> RunRecord:
+    """Worker entry point: rebuild the engine by name and evaluate one point."""
+    engine = create_engine(engine_name, **engine_kwargs)
+    return engine.evaluate(network, config, batch)
+
+
+class SweepExecutor:
+    """Evaluates many design points through one engine, cached and parallel."""
+
+    def __init__(
+        self,
+        engine: str | Engine = "analytical",
+        network: Optional[Network] = None,
+        batch: int = 128,
+        engine_kwargs: Optional[Dict] = None,
+        cache: Optional[RunCache] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if isinstance(engine, Engine):
+            # a pre-built engine can be used serially but cannot be shipped to
+            # workers by name; parallel runs require a registry name
+            self.engine_name = engine.name
+            self._engine: Optional[Engine] = engine
+            self.engine_kwargs: Dict = {}
+            self._parallelizable = False
+        else:
+            self.engine_name = engine
+            self.engine_kwargs = dict(engine_kwargs or {})
+            self._engine = None
+            # only the default engines are re-registered when a worker imports
+            # repro.engine; custom registrations would be missing under the
+            # spawn/forkserver start methods, so those engines stay serial
+            from repro.engine.adapters import DEFAULT_ENGINES
+
+            self._parallelizable = engine in DEFAULT_ENGINES
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.network = network
+        self.batch = batch
+        self.cache = cache
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # engine access
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> Engine:
+        """The executor's in-process engine instance (lazily created)."""
+        if self._engine is None:
+            self._engine = create_engine(self.engine_name, **self.engine_kwargs)
+        return self._engine
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, config: Optional[ChainConfig],
+                 network: Optional[Network] = None,
+                 batch: Optional[int] = None) -> RunRecord:
+        """Evaluate a single point (through the cache when one is attached)."""
+        return self.run([config], network=network, batch=batch, parallel=False)[0]
+
+    def run(
+        self,
+        configs: Sequence[Optional[ChainConfig]],
+        network: Optional[Network] = None,
+        batch: Optional[int] = None,
+        parallel: bool = False,
+    ) -> List[RunRecord]:
+        """Evaluate ``configs`` in order; identical results serial or parallel.
+
+        Cached points never reach a worker.  The returned list is aligned
+        with ``configs`` regardless of completion order.
+        """
+        batch = self.batch if batch is None else batch
+        return self.run_points([(config, batch) for config in configs],
+                               network=network, parallel=parallel)
+
+    def run_batches(
+        self,
+        config: Optional[ChainConfig],
+        batches: Sequence[int],
+        network: Optional[Network] = None,
+        parallel: bool = False,
+    ) -> List[RunRecord]:
+        """Evaluate one configuration at many batch sizes (the Sec. V.B axis)."""
+        return self.run_points([(config, batch) for batch in batches],
+                               network=network, parallel=parallel)
+
+    def run_points(
+        self,
+        points: Sequence[Tuple[Optional[ChainConfig], int]],
+        network: Optional[Network] = None,
+        parallel: bool = False,
+    ) -> List[RunRecord]:
+        """Evaluate arbitrary (config, batch) points, cached and parallel."""
+        network = network or self.network
+        if network is None:
+            raise ValueError("SweepExecutor needs a network (constructor or run())")
+
+        keys = [run_key(self.engine, network, config, batch)
+                for config, batch in points]
+        records: List[Optional[RunRecord]] = [None] * len(points)
+        pending: List[Tuple[int, Optional[ChainConfig], int]] = []
+        for index, (point, key) in enumerate(zip(points, keys)):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                records[index] = cached
+            else:
+                pending.append((index, point[0], point[1]))
+
+        if pending:
+            fresh = self._run_pending(pending, network, parallel)
+            for (index, _, _), record in zip(pending, fresh):
+                record = record.with_cache_info(cache_key=keys[index], cached=False)
+                if self.cache is not None:
+                    self.cache.put(keys[index], record)
+                records[index] = record
+        return [record for record in records if record is not None]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _run_pending(
+        self,
+        pending: Sequence[Tuple[int, Optional[ChainConfig], int]],
+        network: Network,
+        parallel: bool,
+    ) -> List[RunRecord]:
+        if parallel and self._parallelizable and len(pending) > 1:
+            pool = self._make_pool(len(pending))
+            if pool is not None:
+                # evaluation errors (worker crashes, engine bugs) propagate:
+                # only a missing pool degrades to the serial path
+                with pool:
+                    futures = [
+                        pool.submit(_evaluate_point, self.engine_name,
+                                    self.engine_kwargs, network, config, batch)
+                        for _, config, batch in pending
+                    ]
+                    return [future.result() for future in futures]
+        return [
+            self.engine.evaluate(network, config, batch)
+            for _, config, batch in pending
+        ]
+
+    def _make_pool(self, pending_count: int) -> Optional[ProcessPoolExecutor]:
+        """A process pool, or ``None`` where the platform cannot provide one."""
+        workers = self.max_workers or min(pending_count, os.cpu_count() or 1)
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, RuntimeError, ImportError):
+            # restricted sandboxes (no semaphores / fork) — degrade to serial
+            return None

@@ -14,6 +14,7 @@ from typing import Dict
 from repro.analysis.report import render_comparison
 from repro.cnn.zoo import alexnet
 from repro.core.accelerator import ChainNN
+from repro.engine.adapters import AnalyticalEngine
 
 #: Fig. 9 convolution times (ms, batch = 128)
 PAPER_CONV_TIME_MS: Dict[str, float] = {
@@ -80,15 +81,19 @@ class Fig9Result:
 
 
 def run_fig9(chip: ChainNN | None = None) -> Fig9Result:
-    """Regenerate Fig. 9 and the Sec. V.B throughput numbers."""
-    chip = chip or ChainNN.paper_configuration()
+    """Regenerate Fig. 9 and the Sec. V.B throughput numbers.
+
+    Timing is obtained through the unified engine layer (the analytical
+    engine's run records carry the per-layer time tables Fig. 9 plots).
+    """
+    engine = AnalyticalEngine(chip=chip or ChainNN.paper_configuration())
     network = alexnet()
-    result_128 = chip.performance_model.network_performance(network, batch=128)
-    result_4 = chip.performance_model.network_performance(network, batch=4)
+    record_128 = engine.evaluate(network, batch=128)
+    record_4 = engine.evaluate(network, batch=4)
     return Fig9Result(
-        measured_conv_time_ms=result_128.layer_times_ms(),
-        measured_kernel_load_ms=result_128.kernel_load_times_ms(),
-        measured_fps_batch128=result_128.frames_per_second,
-        measured_fps_batch4=result_4.frames_per_second,
-        measured_peak_gops=chip.peak_gops,
+        measured_conv_time_ms=dict(record_128.extra["layer_times_ms"]),
+        measured_kernel_load_ms=dict(record_128.extra["kernel_load_times_ms"]),
+        measured_fps_batch128=record_128.metric("fps"),
+        measured_fps_batch4=record_4.metric("fps"),
+        measured_peak_gops=record_128.metric("peak_gops"),
     )

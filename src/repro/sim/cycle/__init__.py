@@ -1,13 +1,19 @@
 """Cycle-accurate chain simulation."""
 
 from repro.sim.cycle.engine import (
+    CYCLE_BACKENDS,
     CycleAccurateChainSimulator,
     CycleSimResult,
     CycleSimStats,
 )
+from repro.sim.cycle.vectorized import PairGeometryStats, pair_geometry, stripe_mac_count
 
 __all__ = [
+    "CYCLE_BACKENDS",
     "CycleAccurateChainSimulator",
     "CycleSimResult",
     "CycleSimStats",
+    "PairGeometryStats",
+    "pair_geometry",
+    "stripe_mac_count",
 ]

@@ -1,0 +1,167 @@
+"""Vectorized NumPy fast path of the cycle-accurate chain simulator.
+
+The register-accurate scalar engine (:mod:`repro.sim.cycle.engine`) ticks
+every PE of a :class:`~repro.core.primitive.SystolicPrimitive` in Python,
+which limits it to tiny layers.  This module replays the *same* execution —
+channel pairs, stripes, column-wise scan, stride filtering — with whole-array
+integer operations, producing bit-identical raw ofmaps and identical
+:class:`~repro.sim.cycle.engine.CycleSimStats` counters at a fraction of the
+cost, so full AlexNet-scale layers become cycle-verifiable.
+
+Two observations make this possible:
+
+* **Outputs.**  Every *valid* window of a stripe (starting row among the
+  stripe's output rows, starting column leaving room for ``K`` columns) sees
+  all of its ``K^2`` pixels, so its raw value is the exact integer dot
+  product of the window with the kernel.  The stripes partition the stride-1
+  output rows exactly, hence the union of all valid windows of a pair is the
+  full stride-1 correlation of the padded plane — one integer GEMM per
+  channel group reproduces every collected output.  The 39-bit saturating
+  accumulator of the scalar MAC never saturates for ``K <= 11`` (at most
+  121 products of 16-bit operands), so plain ``int64`` arithmetic is
+  bit-identical.
+
+* **Counters.**  Whether a PE performs a MAC in a given cycle depends only
+  on the stripe geometry, never on pixel values: the window injected at
+  streaming cycle ``s`` reaches PE ``q`` at cycle ``s + 2q`` together with
+  the pixel streamed at timestamp ``s + q``, and that pixel exists iff its
+  stripe coordinates ``(r0 + q % K, oc + q // K)`` fall inside the stripe
+  (``oc = (s-1) // K``, ``r0 = (s-1) % K``).  Summing the indicator over
+  ``s`` and ``q`` factorises into a product of two clamped ranges, giving a
+  closed form for the MAC count per stripe; cycles, windows and stride
+  discards follow from the same geometry.  All counters are therefore
+  per-pair constants multiplied by the number of channel pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.cnn.layer import ConvLayer
+
+#: kernel area above which the scalar MAC's saturating accumulator (sized for
+#: 121 products) could saturate mid-window; beyond it the fast path would no
+#: longer be bit-exact, so callers must fall back to the scalar engine.
+MAX_EXACT_KERNEL_PES = 121
+
+#: channel-block budget for the im2col GEMM (bytes); keeps the materialised
+#: window matrix small on wide layers (e.g. VGG 224x224 inputs).
+_GEMM_BLOCK_BYTES = 48 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PairGeometryStats:
+    """Per-channel-pair counters implied by the stripe geometry of a layer.
+
+    These are exactly what the scalar engine counts while streaming one pair;
+    every pair of a layer shares the same geometry, so layer totals are these
+    values multiplied by ``layer.channel_pairs()``.
+    """
+
+    primitive_cycles: int
+    macs: int
+    stripes: int
+    valid_windows: int
+    outputs_kept: int
+    outputs_discarded: int
+    kept_rows: int
+    kept_cols: int
+
+
+def stripe_mac_count(kernel_size: int, width: int, rows: int) -> int:
+    """MACs the scalar engine performs streaming one stripe of one pair.
+
+    A window injected at streaming cycle ``s`` (``1 <= s <= T`` with
+    ``T = K * (width - 1) + rows``) triggers a MAC at PE ``q`` iff the
+    scheduled pixel ``(r0 + q % K, oc + q // K)`` lies inside the stripe.
+    The indicator factorises per ``s`` into ``clip(width - oc, 0, K) *
+    clip(rows - r0, 0, K)``.
+    """
+    k = kernel_size
+    total = k * (width - 1) + rows
+    s = np.arange(total, dtype=np.int64)
+    cols = np.clip(width - s // k, 0, k)
+    row_counts = np.clip(rows - s % k, 0, k)
+    return int(np.sum(cols * row_counts))
+
+
+def pair_geometry(layer: ConvLayer) -> PairGeometryStats:
+    """Counters for one channel pair of ``layer`` (shared by all its pairs)."""
+    k = layer.kernel_size
+    stride = layer.stride
+    padded_h = layer.padded_height
+    padded_w = layer.padded_width
+    drain = 2 * k * k + 2
+
+    primitive_cycles = 0
+    macs = 0
+    stripes = 0
+    valid_windows = 0
+    for base in range(0, padded_h - k + 1, k):
+        rows = min(2 * k - 1, padded_h - base)
+        primitive_cycles += k * (padded_w - 1) + rows + drain
+        macs += stripe_mac_count(k, padded_w, rows)
+        valid_windows += (rows - k + 1) * (padded_w - k + 1)
+        stripes += 1
+
+    kept_rows = min(layer.out_height, (padded_h - k) // stride + 1)
+    kept_cols = min(layer.out_width, (padded_w - k) // stride + 1)
+    kept = kept_rows * kept_cols
+    return PairGeometryStats(
+        primitive_cycles=primitive_cycles,
+        macs=macs,
+        stripes=stripes,
+        valid_windows=valid_windows,
+        outputs_kept=kept,
+        outputs_discarded=valid_windows - kept,
+        kept_rows=kept_rows,
+        kept_cols=kept_cols,
+    )
+
+
+def correlate_layer_raw(
+    layer: ConvLayer,
+    raw_ifmaps: np.ndarray,
+    raw_weights: np.ndarray,
+    kept_rows: int,
+    kept_cols: int,
+) -> np.ndarray:
+    """Raw integer ofmaps of the whole layer via blocked im2col GEMMs.
+
+    ``raw_ifmaps`` is the padded ``(C, Hp, Wp)`` int64 plane stack,
+    ``raw_weights`` the ``(M, C/groups, K, K)`` int64 kernels.  Only the
+    stride-grid windows the scalar engine keeps are computed; the result is
+    bit-identical to its accumulation because integer addition is exact and
+    the hardware accumulator never saturates for ``K <= 11``.
+    """
+    k = layer.kernel_size
+    stride = layer.stride
+    in_per_group = layer.in_channels_per_group
+    out_per_group = layer.out_channels_per_group
+    raw_ofmaps = np.zeros(layer.out_shape, dtype=np.int64)
+
+    # (C, Hp-K+1, Wp-K+1, K, K) strided view, then the stride-grid subset
+    windows = sliding_window_view(raw_ifmaps, (k, k), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride][:, :kept_rows, :kept_cols]
+
+    positions = kept_rows * kept_cols
+    block = max(1, _GEMM_BLOCK_BYTES // max(1, positions * k * k * 8))
+    for group in range(layer.groups):
+        c0 = group * in_per_group
+        m0 = group * out_per_group
+        acc = np.zeros((positions, out_per_group), dtype=np.int64)
+        for c_base in range(0, in_per_group, block):
+            c_stop = min(in_per_group, c_base + block)
+            chunk = windows[c0 + c_base:c0 + c_stop]
+            # (positions, chunk_channels * K * K) im2col matrix
+            x = np.ascontiguousarray(chunk.transpose(1, 2, 0, 3, 4))
+            x = x.reshape(positions, -1)
+            w = raw_weights[m0:m0 + out_per_group, c_base:c_stop]
+            acc += x @ w.reshape(out_per_group, -1).T
+        raw_ofmaps[m0:m0 + out_per_group, :kept_rows, :kept_cols] = (
+            acc.T.reshape(out_per_group, kept_rows, kept_cols)
+        )
+    return raw_ofmaps

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,4 +67,84 @@ class TestCommands:
 
     def test_verify(self, capsys):
         assert main(["verify"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+
+class TestEngineCommands:
+    def test_engines_lists_registry(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical" in out and "cycle" in out and "baseline-eyeriss" in out
+
+    def test_run_detailed_mode(self, capsys):
+        assert main(["run", "lenet5", "--batch", "2", "--mode", "detailed"]) == 0
+        assert "analytical-detailed" in capsys.readouterr().out
+
+    def test_run_through_cycle_engine(self, capsys):
+        assert main(["run", "lenet5", "--batch", "1", "--engine", "cycle"]) == 0
+        assert "cycle" in capsys.readouterr().out
+
+    def test_run_rejects_conflicting_mode_and_engine(self, capsys):
+        assert main(["run", "lenet5", "--engine", "cycle", "--mode", "detailed"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        assert main(["run", "lenet5", "--engine", "analytical-detailed",
+                     "--mode", "paper"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        assert main(["run", "lenet5", "--engine", "analytical-detailed",
+                     "--mode", "detailed", "--batch", "1"]) == 0
+        capsys.readouterr()
+
+    def test_run_json_record(self, capsys):
+        assert main(["run", "lenet5", "--batch", "2", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["engine"] == "analytical"
+        assert record["metrics"]["fps"] > 0
+
+    def test_sweep_parallel_json_matches_serial(self, capsys, tmp_path):
+        # distinct cache dirs so the parallel invocation really evaluates
+        # in workers instead of replaying the serial run's cache entries
+        args = ["sweep", "pes", "--network", "lenet5", "--batch", "4", "--json"]
+        assert main(args + ["--cache-dir", str(tmp_path / "serial")]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--cache-dir", str(tmp_path / "par"), "--parallel"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["points"] == parallel["points"]
+
+    def test_sweep_batch_honors_global_config(self, capsys):
+        assert main(["sweep", "batch", "--network", "lenet5", "--json"]) == 0
+        default = json.loads(capsys.readouterr().out)["fps_by_batch"]
+        assert main(["--pes", "288", "sweep", "batch", "--network", "lenet5",
+                     "--json"]) == 0
+        small = json.loads(capsys.readouterr().out)["fps_by_batch"]
+        assert small["128"] < default["128"]
+
+    def test_cache_env_var_enables_default_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["sweep", "pes", "--network", "lenet5", "--batch", "4",
+                     "--json"]) == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("*.json"))) > 0
+        # --no-cache must suppress it again
+        for stale in tmp_path.glob("*.json"):
+            stale.unlink()
+        assert main(["sweep", "pes", "--network", "lenet5", "--batch", "4",
+                     "--json", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("*.json"))) == 0
+
+    def test_sweep_through_cycle_engine(self, capsys):
+        assert main(["sweep", "batch", "--network", "lenet5", "--engine",
+                     "cycle", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "cycle"
+        assert len(payload["fps_by_batch"]) > 0
+
+    def test_experiments_json_headline(self, capsys):
+        assert main(["experiments", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-headline/1"
+        assert payload["headline"]["peak_gops"] == pytest.approx(806.4)
+
+    def test_verify_scalar_backend(self, capsys):
+        assert main(["verify", "--backend", "scalar"]) == 0
         assert "PASSED" in capsys.readouterr().out

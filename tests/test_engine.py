@@ -1,0 +1,255 @@
+"""Tests for the unified execution-engine layer (registry, cache, executor)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cnn.zoo import lenet5, tiny_test_network
+from repro.core.config import ChainConfig
+from repro.core.performance import PerformanceModel
+from repro.engine import (
+    AnalyticalEngine,
+    Engine,
+    RunCache,
+    RunRecord,
+    SweepExecutor,
+    available_engines,
+    create_engine,
+    engine_registered,
+    register_engine,
+    run_key,
+    summary_from_record,
+    unregister_engine,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def network():
+    return lenet5()
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    return tiny_test_network()
+
+
+class TestRegistry:
+    def test_default_engines_registered(self):
+        names = available_engines()
+        for expected in ("analytical", "analytical-detailed", "cycle", "cycle-scalar",
+                         "functional", "baseline-chain-nn", "baseline-eyeriss",
+                         "baseline-dadiannao"):
+            assert expected in names
+
+    def test_create_engine_returns_engine(self):
+        engine = create_engine("analytical")
+        assert isinstance(engine, Engine)
+        assert engine.name == "analytical"
+
+    def test_unknown_engine_raises_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="analytical"):
+            create_engine("does-not-exist")
+
+    def test_register_and_unregister(self):
+        register_engine("test-temp", lambda **kw: AnalyticalEngine(**kw))
+        try:
+            assert engine_registered("test-temp")
+            assert isinstance(create_engine("test-temp"), AnalyticalEngine)
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_engine("test-temp", lambda **kw: AnalyticalEngine(**kw))
+        finally:
+            unregister_engine("test-temp")
+        assert not engine_registered("test-temp")
+
+    def test_engine_kwargs_forwarded(self):
+        engine = create_engine("analytical", mode="detailed")
+        assert engine.name == "analytical-detailed"
+
+
+class TestAdapters:
+    def test_analytical_matches_performance_model(self, network):
+        config = ChainConfig()
+        record = create_engine("analytical").evaluate(network, config, batch=8)
+        expected = PerformanceModel(config).network_performance(network, 8)
+        assert record.metric("fps") == pytest.approx(expected.frames_per_second)
+        assert record.metric("peak_gops") == pytest.approx(config.peak_gops)
+        assert set(record.extra["layer_times_ms"]) == {"conv1", "conv2"}
+
+    def test_injected_chip_defines_mode_and_fingerprint(self):
+        from repro.core.accelerator import ChainNN
+
+        engine = AnalyticalEngine(chip=ChainNN(performance_mode="detailed"))
+        assert engine.name == "analytical-detailed"
+        assert engine.fingerprint()["mode"] == "detailed"
+
+    def test_analytical_detailed_is_slower_than_paper(self, network):
+        paper = create_engine("analytical").evaluate(network, None, 8)
+        detailed = create_engine("analytical-detailed").evaluate(network, None, 8)
+        assert detailed.metric("fps") < paper.metric("fps")
+
+    def test_cycle_engine_verifies_reference(self, tiny_network):
+        record = create_engine("cycle").evaluate(tiny_network, None, batch=2)
+        assert record.metric("max_abs_error") == pytest.approx(0.0, abs=1e-9)
+        assert record.metric("simulated_macs") > 0
+        assert set(record.extra["layers"]) == {"convA", "convB"}
+
+    def test_cycle_backends_agree(self, tiny_network):
+        fast = create_engine("cycle").evaluate(tiny_network, None, 1)
+        slow = create_engine("cycle-scalar").evaluate(tiny_network, None, 1)
+        assert fast.metrics == slow.metrics
+
+    def test_functional_engine(self, tiny_network):
+        record = create_engine("functional").evaluate(tiny_network, None, 1)
+        assert record.metric("max_abs_error") == pytest.approx(0.0, abs=1e-9)
+        assert record.metric("windows_kept") > 0
+
+    def test_baseline_round_trips_summary(self, network):
+        record = create_engine("baseline-eyeriss").evaluate(network, None, 4)
+        summary = summary_from_record(record)
+        assert summary.name == "2D spatial (Eyeriss-like)"
+        assert summary.energy_efficiency_gops_w == pytest.approx(
+            record.metric("gops_per_watt"))
+
+    def test_record_json_round_trip(self, network):
+        record = create_engine("analytical").evaluate(network, None, 4)
+        clone = RunRecord.from_json_dict(
+            json.loads(json.dumps(record.to_json_dict())))
+        assert clone.metrics == record.metrics
+        assert clone.engine == record.engine
+
+
+class TestCache:
+    def test_key_is_deterministic_and_discriminating(self, network, tiny_network):
+        engine = create_engine("analytical")
+        config = ChainConfig()
+        key = run_key(engine, network, config, 4)
+        assert key == run_key(engine, network, ChainConfig(), 4)
+        assert key != run_key(engine, network, config.with_pes(288), 4)
+        assert key != run_key(engine, network, config, 8)
+        assert key != run_key(engine, tiny_network, config, 4)
+        assert key != run_key(create_engine("analytical-detailed"), network, config, 4)
+
+    def test_put_get_round_trip(self, network, tmp_path):
+        cache = RunCache(tmp_path)
+        engine = create_engine("analytical")
+        record = engine.evaluate(network, None, 4)
+        key = run_key(engine, network, None, 4)
+        assert cache.get(key) is None
+        cache.put(key, record)
+        stored = cache.get(key)
+        assert stored is not None
+        assert stored.cached and stored.cache_key == key
+        assert stored.metrics == record.metrics
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_corrupt_entry_is_a_miss(self, network, tmp_path):
+        cache = RunCache(tmp_path)
+        engine = create_engine("analytical")
+        key = run_key(engine, network, None, 4)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("not json")
+        assert cache.get(key) is None
+        cache.path_for(key).write_text(
+            '{"engine": "analytical", "network": "x", "batch": 4,'
+            ' "metrics": {"fps": null}}')
+        assert cache.get(key) is None
+        assert cache.misses == 2
+
+
+class _CountingEngine(Engine):
+    """Deterministic stub that counts how often it actually evaluates."""
+
+    calls = 0
+    name = "test-counting"
+
+    def evaluate(self, network, config=None, batch=1):
+        type(self).calls += 1
+        pes = config.num_pes if config is not None else 0
+        return RunRecord(
+            engine=self.name, network=network.name, batch=batch,
+            config_summary="stub", metrics={"fps": float(pes + batch)},
+        )
+
+
+class TestSweepExecutor:
+    @pytest.fixture()
+    def counting_engine(self):
+        _CountingEngine.calls = 0
+        register_engine("test-counting", lambda **kw: _CountingEngine())
+        yield "test-counting"
+        unregister_engine("test-counting")
+
+    def test_cache_hit_skips_evaluation(self, network, tmp_path, counting_engine):
+        executor = SweepExecutor(engine=counting_engine, network=network, batch=4,
+                                 cache=RunCache(tmp_path))
+        configs = [ChainConfig().with_pes(p) for p in (144, 288)]
+        first = executor.run(configs)
+        assert _CountingEngine.calls == 2
+        second = executor.run(configs)
+        assert _CountingEngine.calls == 2  # served entirely from disk
+        assert [r.metrics for r in first] == [r.metrics for r in second]
+        assert all(r.cached for r in second) and not any(r.cached for r in first)
+
+    def test_cache_is_shared_across_executors(self, network, tmp_path, counting_engine):
+        configs = [ChainConfig().with_pes(p) for p in (144, 288)]
+        SweepExecutor(engine=counting_engine, network=network, batch=4,
+                      cache=RunCache(tmp_path)).run(configs)
+        fresh = SweepExecutor(engine=counting_engine, network=network, batch=4,
+                              cache=RunCache(tmp_path))
+        fresh.run(configs)
+        assert _CountingEngine.calls == 2
+
+    def test_cache_distinguishes_engine_default_config(self, network, tmp_path):
+        """config=None evaluations must not collide across engine defaults."""
+        default = SweepExecutor(engine="analytical", network=network, batch=4,
+                                cache=RunCache(tmp_path))
+        first = default.run([None])[0]
+        smaller = SweepExecutor(engine="analytical", network=network, batch=4,
+                                cache=RunCache(tmp_path),
+                                engine_kwargs={"config": ChainConfig().with_pes(288)})
+        second = smaller.run([None])[0]
+        assert not second.cached
+        assert second.metric("fps") != first.metric("fps")
+
+    def test_run_batches_parallel_equals_serial(self, network):
+        executor = SweepExecutor(engine="analytical", network=network)
+        batches = (1, 2, 4, 8)
+        serial = executor.run_batches(ChainConfig(), batches, parallel=False)
+        parallel = executor.run_batches(ChainConfig(), batches, parallel=True)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert [r.batch for r in serial] == list(batches)
+
+    def test_parallel_equals_serial(self, network):
+        executor = SweepExecutor(engine="analytical", network=network, batch=8)
+        configs = [ChainConfig().with_pes(p) for p in (144, 288, 576, 1152)]
+        serial = executor.run(configs, parallel=False)
+        parallel = executor.run(configs, parallel=True)
+        assert [r.metrics for r in serial] == [r.metrics for r in parallel]
+        assert [r.config_summary for r in serial] == [r.config_summary for r in parallel]
+
+    def test_results_aligned_with_input_order(self, network):
+        executor = SweepExecutor(engine="analytical", network=network, batch=4)
+        pe_counts = (1152, 144, 576)
+        records = executor.run([ChainConfig().with_pes(p) for p in pe_counts],
+                               parallel=True)
+        assert [f"{p} PEs" in r.config_summary for p, r in zip(pe_counts, records)] \
+            == [True, True, True]
+
+    def test_prebuilt_engine_instance_supported(self, network):
+        engine = create_engine("analytical")
+        executor = SweepExecutor(engine=engine, network=network, batch=4)
+        record = executor.evaluate(ChainConfig())
+        assert record.metric("fps") > 0
+
+    def test_missing_network_raises(self):
+        executor = SweepExecutor(engine="analytical")
+        with pytest.raises(ValueError, match="network"):
+            executor.run([ChainConfig()])
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            SweepExecutor(engine="analytical", max_workers=0)

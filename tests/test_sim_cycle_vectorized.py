@@ -1,0 +1,111 @@
+"""Vectorized cycle-engine fast path: bit-identical to the scalar reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.layer import ConvLayer
+from repro.cnn.zoo import alexnet
+from repro.core.config import ChainConfig
+from repro.errors import ConfigurationError
+from repro.sim.cycle import (
+    CycleAccurateChainSimulator,
+    pair_geometry,
+    stripe_mac_count,
+)
+
+
+def _tensors(layer, seed=0):
+    return WorkloadGenerator(seed=seed).layer_pair(layer)
+
+
+def _both(layer, seed=0, config=None):
+    config = config or ChainConfig()
+    ifmaps, weights = _tensors(layer, seed)
+    scalar = CycleAccurateChainSimulator(config, backend="scalar").run_layer(
+        layer, ifmaps, weights)
+    fast = CycleAccurateChainSimulator(config, backend="vectorized").run_layer(
+        layer, ifmaps, weights)
+    return scalar, fast
+
+
+class TestBackendEquivalence:
+    """Acceptance: bit-identical ofmaps and identical stats on the unit layers."""
+
+    def test_stride1_layer(self, tiny_layer):
+        scalar, fast = _both(tiny_layer)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+
+    def test_strided_layer(self, strided_layer):
+        scalar, fast = _both(strided_layer, seed=1)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+        assert fast.stats.outputs_discarded_by_stride > 0
+
+    def test_grouped_layer(self, grouped_layer):
+        scalar, fast = _both(grouped_layer, seed=2)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+
+    def test_k5_layer(self):
+        layer = ConvLayer("k5", 1, 2, 11, 11, kernel_size=5)
+        scalar, fast = _both(layer, seed=3)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+
+    def test_conv1_like_strided_k11(self):
+        layer = ConvLayer("k11s4", 1, 1, 23, 23, kernel_size=11, stride=4)
+        scalar, fast = _both(layer, seed=4)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+
+    def test_asymmetric_padded_strided(self):
+        layer = ConvLayer("oddgeom", 2, 2, 10, 12, kernel_size=3, stride=3, padding=2)
+        scalar, fast = _both(layer, seed=5)
+        assert np.array_equal(scalar.ofmaps, fast.ofmaps)
+        assert scalar.stats == fast.stats
+
+    def test_chain_cycles_and_formats_agree(self, tiny_layer):
+        scalar, fast = _both(tiny_layer)
+        assert fast.chain_cycles_estimate == scalar.chain_cycles_estimate
+        assert fast.ifmap_format == scalar.ifmap_format
+        assert fast.weight_format == scalar.weight_format
+        assert fast.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAlexNetScale:
+    """The fast path makes full AlexNet layers cycle-verifiable."""
+
+    def test_conv5_full_size_verifies_against_reference(self):
+        layer = alexnet().conv_layer("conv5")
+        ifmaps, weights = _tensors(layer, seed=6)
+        result = CycleAccurateChainSimulator().run_layer(layer, ifmaps, weights)
+        assert result.reference_max_abs_error == pytest.approx(0.0, abs=1e-9)
+        assert result.stats.pairs_processed == layer.channel_pairs()
+        assert result.stats.macs >= layer.macs
+
+
+class TestGeometryHelpers:
+    def test_stripe_mac_count_matches_bruteforce(self):
+        for k, width, rows in ((3, 7, 5), (3, 9, 3), (5, 11, 9), (5, 8, 6), (11, 23, 21)):
+            total = k * (width - 1) + rows
+            expected = 0
+            for s in range(1, total + 1):
+                oc, r0 = (s - 1) // k, (s - 1) % k
+                expected += max(0, min(k, width - oc)) * max(0, min(k, rows - r0))
+            assert stripe_mac_count(k, width, rows) == expected
+
+    def test_pair_geometry_covers_all_stride1_windows(self, tiny_layer):
+        geometry = pair_geometry(tiny_layer)
+        stride1_windows = ((tiny_layer.padded_height - tiny_layer.kernel_size + 1)
+                           * (tiny_layer.padded_width - tiny_layer.kernel_size + 1))
+        assert geometry.valid_windows == stride1_windows
+        assert geometry.outputs_kept == tiny_layer.out_height * tiny_layer.out_width
+        assert geometry.outputs_discarded == stride1_windows - geometry.outputs_kept
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            CycleAccurateChainSimulator(backend="quantum")
