@@ -1,0 +1,42 @@
+"""Machine-readable benchmark trajectory: ``BENCH_<name>.json`` at repo root.
+
+Benchmarks call :func:`record_benchmark` with a flat payload of measured
+numbers (ns/point, points/s, speedups); the helper stamps a small schema
+header and writes ``BENCH_<name>.json`` next to ``ROADMAP.md`` so future PRs
+— and the CI artifact upload — can track performance regressions across the
+repo's history without parsing pytest output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Dict
+
+#: repo root (this file lives in benchmarks/)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA = "repro-bench/1"
+
+
+def record_benchmark(name: str, payload: Dict[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    ``payload`` must be JSON-serialisable; the helper adds the schema tag and
+    the Python/platform fingerprint so absolute numbers can be judged in
+    context when machines differ between runs.
+    """
+    if not name or any(char in name for char in "/\\"):
+        raise ValueError(f"benchmark name must be a plain identifier, got {name!r}")
+    document = {
+        "schema": SCHEMA,
+        "name": name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

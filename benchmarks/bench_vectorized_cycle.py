@@ -14,6 +14,7 @@ import time
 import numpy as np
 import pytest
 
+from _record import record_benchmark
 from repro.cnn.generator import WorkloadGenerator
 from repro.cnn.layer import ConvLayer
 from repro.cnn.zoo import alexnet
@@ -59,6 +60,13 @@ def test_vectorized_at_least_10x_faster_and_bit_identical(benchmark, layer, tens
     # the CI functional smoke pass (--benchmark-disable, shared runners) only
     # requires the fast path to actually be faster
     speedup = scalar_seconds / fast_seconds
+    record_benchmark("cycle", {
+        "layer": layer.name,
+        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": fast_seconds,
+        "vectorized_ns_per_mac": 1e9 * fast_seconds / fast_result.stats.macs,
+        "speedup_vs_scalar": speedup,
+    })
     floor = 2.0 if benchmark.disabled else 10.0
     assert speedup >= floor, (
         f"vectorized path only {speedup:.1f}x faster "

@@ -1,0 +1,599 @@
+"""Columnar (struct-of-arrays) batch evaluation of the analytical models.
+
+Design-space exploration wants 10^5–10^6 design points evaluated
+interactively; the per-point path (``PerformanceModel`` + ``TrafficModel`` +
+``PowerModel`` + ``AreaModel`` behind one ``ChainConfig`` object each) tops
+out at a few hundred points per second because every point rebuilds mapper,
+planner and report objects.  This module evaluates a whole grid of design
+points — PE count x clock frequency x batch size x datapath precision — as
+whole-NumPy-array expressions:
+
+* the per-layer *closed forms* are exactly the ones the scalar models use
+  (:func:`repro.core.performance.pair_cycles_for`,
+  :func:`repro.energy.power.chain_power_w` /
+  :func:`~repro.energy.power.memory_power_w`,
+  :meth:`repro.energy.area.AreaModel.total_gates_for`), applied to arrays of
+  design points instead of scalars, so the columnar path is numerically
+  identical to :class:`repro.analysis.sweep.DesignSpaceExplorer` point by
+  point (asserted by the equivalence tests);
+* layer-constant factors (pair cycles, channel pairs, traffic word counts
+  per image, tile heights per precision) are hoisted out of the grid loop and
+  computed once per network.
+
+The engine layer exposes this as the ``analytical-batch`` engine
+(:class:`repro.engine.adapters.AnalyticalBatchEngine`);
+:meth:`repro.engine.executor.SweepExecutor.run_grid` feeds it cache-aware
+chunks.  :mod:`repro.analysis.pareto` reduces the resulting columns to a
+Pareto frontier or a top-k list.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.pareto import objective_matrix, pareto_mask, top_k_indices
+from repro.cnn.network import Network
+from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
+from repro.core.dataflow import DataflowPlanner
+from repro.core.performance import Mode, pair_cycles_for
+from repro.energy.area import AreaModel
+from repro.energy.components import EnergyParams, GateCountParams
+from repro.energy.power import chain_power_w, memory_power_w
+from repro.errors import ConfigurationError
+from repro.hwmodel.clock import ClockDomain
+
+#: grid-axis names accepted by :meth:`DesignGrid.parse`
+GRID_AXES = ("pe", "freq", "batch", "bits")
+
+#: default Pareto objectives (all minimised): latency vs. power vs. area
+DEFAULT_OBJECTIVES = ("total_time_per_batch_s", "power_w", "total_gates")
+
+#: metric columns where larger values are better; every other column is
+#: treated as lower-is-better by ranking/frontier consumers (the CLI)
+HIGHER_IS_BETTER = frozenset({
+    "fps",
+    "achieved_gops",
+    "peak_gops",
+    "gops_per_watt",
+    "worst_case_utilization",
+})
+
+
+def _parse_axis(name: str, text: str, integer: bool) -> np.ndarray:
+    """Parse one axis spec: ``v``, ``start:stop`` or ``start:stop:step``.
+
+    Ranges include the stop value when it lies on the step grid (the natural
+    reading of ``pe=128:1152:32``).
+    """
+    parts = text.split(":")
+    if len(parts) not in (1, 2, 3) or any(not part for part in parts):
+        raise ConfigurationError(
+            f"grid axis {name}={text!r} must be 'value', 'start:stop' or 'start:stop:step'"
+        )
+    try:
+        numbers = [float(part) for part in parts]
+    except ValueError:
+        raise ConfigurationError(f"grid axis {name}={text!r} contains a non-number") from None
+    if len(parts) == 1:
+        values = np.array([numbers[0]])
+    else:
+        start, stop = numbers[0], numbers[1]
+        step = numbers[2] if len(parts) == 3 else 1.0
+        if step <= 0:
+            raise ConfigurationError(f"grid axis {name}: step must be > 0, got {step}")
+        if stop < start:
+            raise ConfigurationError(f"grid axis {name}: stop {stop} < start {start}")
+        # never overshoot: the last value is the largest on-grid point <= stop
+        # (with a float-tolerant count so e.g. 200:1000:50 still includes 1000)
+        count = int(np.floor((stop - start) / step + 1e-9)) + 1
+        values = start + step * np.arange(count)
+    if integer:
+        rounded = np.rint(values)
+        if not np.allclose(values, rounded):
+            raise ConfigurationError(f"grid axis {name} must contain integers, got {text!r}")
+        return rounded.astype(np.int64)
+    return values.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class DesignGrid:
+    """A flattened grid of design points, one array ("column") per axis.
+
+    All four columns have the same length; point ``i`` is
+    ``(num_pes[i], frequency_hz[i], batch[i], word_bits[i])``.
+    """
+
+    num_pes: np.ndarray       # int64
+    frequency_hz: np.ndarray  # float64
+    batch: np.ndarray         # int64
+    word_bits: np.ndarray     # int64
+
+    def __post_init__(self) -> None:
+        lengths = {column.shape for column in self._columns()}
+        if len(lengths) != 1 or len(next(iter(lengths))) != 1:
+            raise ConfigurationError(
+                f"grid columns must be 1D and equally long, got shapes {sorted(lengths)}"
+            )
+        if self.n_points and int(self.num_pes.min()) < 1:
+            raise ConfigurationError("num_pes values must be >= 1")
+        if self.n_points and int(self.batch.min()) < 1:
+            raise ConfigurationError("batch values must be >= 1")
+        if self.n_points and float(self.frequency_hz.min()) <= 0:
+            raise ConfigurationError("frequency values must be > 0")
+        if self.n_points and (np.any(self.word_bits < 8) or np.any(self.word_bits % 8)):
+            raise ConfigurationError("word_bits values must be positive multiples of 8")
+
+    def _columns(self) -> Tuple[np.ndarray, ...]:
+        return (self.num_pes, self.frequency_hz, self.batch, self.word_bits)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_axes(
+        cls,
+        pe_counts: Sequence[int] = (576,),
+        frequencies_hz: Sequence[float] = (700e6,),
+        batches: Sequence[int] = (128,),
+        word_bits: Sequence[int] = (16,),
+    ) -> "DesignGrid":
+        """Cartesian product of the four axes, flattened in C order."""
+        pe, freq, batch, bits = np.meshgrid(
+            np.asarray(pe_counts, dtype=np.int64),
+            np.asarray(frequencies_hz, dtype=np.float64),
+            np.asarray(batches, dtype=np.int64),
+            np.asarray(word_bits, dtype=np.int64),
+            indexing="ij",
+        )
+        return cls(pe.ravel(), freq.ravel(), batch.ravel(), bits.ravel())
+
+    @classmethod
+    def parse(cls, spec: str, base: Optional[ChainConfig] = None,
+              default_batch: int = 128) -> "DesignGrid":
+        """Build a grid from a CLI spec like ``pe=128:1152:32,freq=200:1000:50``.
+
+        Axes: ``pe`` (chain length), ``freq`` (MHz), ``batch``, ``bits``
+        (datapath width).  Ranges are ``start:stop:step`` with an inclusive
+        stop; omitted axes default to the ``base`` configuration (and
+        ``default_batch``).
+        """
+        base = base or ChainConfig()
+        axes: Dict[str, np.ndarray] = {
+            "pe": np.array([base.num_pes], dtype=np.int64),
+            "freq": np.array([base.frequency_hz / 1e6]),
+            "batch": np.array([default_batch], dtype=np.int64),
+            "bits": np.array([base.word_bits], dtype=np.int64),
+        }
+        spec = spec.strip()
+        if not spec:
+            raise ConfigurationError("empty grid spec")
+        for term in spec.split(","):
+            name, _, text = term.partition("=")
+            name = name.strip()
+            if name not in GRID_AXES:
+                raise ConfigurationError(
+                    f"unknown grid axis {name!r}; expected one of {', '.join(GRID_AXES)}"
+                )
+            axes[name] = _parse_axis(name, text.strip(), integer=name != "freq")
+        return cls.from_axes(
+            pe_counts=axes["pe"],
+            frequencies_hz=axes["freq"] * 1e6,
+            batches=axes["batch"],
+            word_bits=axes["bits"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        """Number of design points in the grid."""
+        return int(self.num_pes.shape[0])
+
+    def config_at(self, index: int, base: Optional[ChainConfig] = None) -> ChainConfig:
+        """Materialise one grid point as a :class:`ChainConfig`."""
+        base = base or ChainConfig()
+        return replace(
+            base,
+            num_pes=int(self.num_pes[index]),
+            clock=ClockDomain(float(self.frequency_hz[index])),
+            word_bits=int(self.word_bits[index]),
+        )
+
+    def take(self, indices: np.ndarray) -> "DesignGrid":
+        """Sub-grid at the given point indices."""
+        return DesignGrid(
+            num_pes=self.num_pes[indices],
+            frequency_hz=self.frequency_hz[indices],
+            batch=self.batch[indices],
+            word_bits=self.word_bits[indices],
+        )
+
+    def chunks(self, chunk_size: int) -> Iterator["DesignGrid"]:
+        """Split into consecutive sub-grids of at most ``chunk_size`` points."""
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, self.n_points, chunk_size):
+            yield self.take(np.arange(start, min(start + chunk_size, self.n_points)))
+
+    # ------------------------------------------------------------------ #
+    # serialisation (chunk cache keys and payloads)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-list form suitable for hashing and ``json.dump``."""
+        return {
+            "num_pes": self.num_pes.tolist(),
+            "frequency_hz": self.frequency_hz.tolist(),
+            "batch": self.batch.tolist(),
+            "word_bits": self.word_bits.tolist(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "DesignGrid":
+        """Rebuild a grid from :meth:`to_json_dict` output."""
+        return cls(
+            num_pes=np.asarray(data["num_pes"], dtype=np.int64),
+            frequency_hz=np.asarray(data["frequency_hz"], dtype=np.float64),
+            batch=np.asarray(data["batch"], dtype=np.int64),
+            word_bits=np.asarray(data["word_bits"], dtype=np.int64),
+        )
+
+
+#: metric columns every batch result carries, in report order
+RESULT_COLUMNS = (
+    "peak_gops",
+    "fps",
+    "total_time_per_batch_s",
+    "achieved_gops",
+    "power_w",
+    "gops_per_watt",
+    "worst_case_utilization",
+    "total_gates",
+)
+
+
+@dataclass(frozen=True)
+class BatchSweepResult:
+    """Struct-of-arrays sweep result: one NumPy column per metric."""
+
+    grid: DesignGrid
+    peak_gops: np.ndarray
+    fps: np.ndarray
+    total_time_per_batch_s: np.ndarray
+    achieved_gops: np.ndarray
+    power_w: np.ndarray
+    gops_per_watt: np.ndarray
+    worst_case_utilization: np.ndarray
+    total_gates: np.ndarray
+
+    @property
+    def n_points(self) -> int:
+        """Number of evaluated design points."""
+        return self.grid.n_points
+
+    # ------------------------------------------------------------------ #
+    # columnar access
+    # ------------------------------------------------------------------ #
+    def columns(self) -> Dict[str, np.ndarray]:
+        """All columns (grid axes + metrics) keyed by name."""
+        out: Dict[str, np.ndarray] = {
+            "num_pes": self.grid.num_pes,
+            "frequency_hz": self.grid.frequency_hz,
+            "batch": self.grid.batch,
+            "word_bits": self.grid.word_bits,
+        }
+        for name in RESULT_COLUMNS:
+            out[name] = getattr(self, name)
+        return out
+
+    def row(self, index: int) -> Dict[str, float]:
+        """One design point as a report row (the sweep-table format)."""
+        return {
+            "PEs": int(self.grid.num_pes[index]),
+            "Freq (MHz)": float(self.grid.frequency_hz[index]) / 1e6,
+            "batch": int(self.grid.batch[index]),
+            "bits": int(self.grid.word_bits[index]),
+            "Peak GOPS": float(self.peak_gops[index]),
+            "Achieved GOPS": float(self.achieved_gops[index]),
+            "fps": float(self.fps[index]),
+            "Time/batch (ms)": float(self.total_time_per_batch_s[index]) * 1e3,
+            "Power (W)": float(self.power_w[index]),
+            "GOPS/W": float(self.gops_per_watt[index]),
+            "worst-case util.": float(self.worst_case_utilization[index]),
+            "Gates (k)": float(self.total_gates[index]) / 1e3,
+        }
+
+    def rows(self, indices: Optional[Sequence[int]] = None) -> List[Dict[str, float]]:
+        """Report rows for selected points (all points when ``indices`` is None)."""
+        if indices is None:
+            indices = range(self.n_points)
+        return [self.row(int(index)) for index in indices]
+
+    def labels(self, indices: Optional[Sequence[int]] = None) -> List[str]:
+        """Human-readable point labels matching :meth:`rows`."""
+        if indices is None:
+            indices = range(self.n_points)
+        return [
+            f"{int(self.grid.num_pes[i])} PEs @ {self.grid.frequency_hz[i] / 1e6:.0f} MHz"
+            for i in indices
+        ]
+
+    def take(self, indices: np.ndarray) -> "BatchSweepResult":
+        """Sub-result at the given point indices."""
+        return BatchSweepResult(
+            grid=self.grid.take(indices),
+            **{name: getattr(self, name)[indices] for name in RESULT_COLUMNS},
+        )
+
+    @classmethod
+    def concatenate(cls, results: Sequence["BatchSweepResult"]) -> "BatchSweepResult":
+        """Stitch chunked results back into one (in chunk order)."""
+        if not results:
+            raise ConfigurationError("cannot concatenate zero batch results")
+        grid = DesignGrid(
+            num_pes=np.concatenate([r.grid.num_pes for r in results]),
+            frequency_hz=np.concatenate([r.grid.frequency_hz for r in results]),
+            batch=np.concatenate([r.grid.batch for r in results]),
+            word_bits=np.concatenate([r.grid.word_bits for r in results]),
+        )
+        columns = {
+            name: np.concatenate([getattr(r, name) for r in results])
+            for name in RESULT_COLUMNS
+        }
+        return cls(grid=grid, **columns)
+
+    # ------------------------------------------------------------------ #
+    # reduction
+    # ------------------------------------------------------------------ #
+    def pareto_indices(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                       maximize: Sequence[str] = ()) -> np.ndarray:
+        """Indices of the Pareto-efficient points (all objectives minimised
+        unless listed in ``maximize``)."""
+        costs = objective_matrix(self.columns(), objectives, maximize)
+        return np.flatnonzero(pareto_mask(costs))
+
+    def pareto(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+               maximize: Sequence[str] = ()) -> "BatchSweepResult":
+        """The Pareto frontier as a (smaller) batch result."""
+        return self.take(self.pareto_indices(objectives, maximize))
+
+    def top_k(self, metric: str, k: int, maximize: bool = True) -> "BatchSweepResult":
+        """The ``k`` best points by one metric column, best first."""
+        columns = self.columns()
+        if metric not in columns:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; available: {sorted(columns)}"
+            )
+        return self.take(top_k_indices(columns[metric], k, maximize=maximize))
+
+    # ------------------------------------------------------------------ #
+    # serialisation (the sweep executor caches whole chunks)
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-list form suitable for ``json.dump``."""
+        payload: Dict[str, Any] = {"grid": self.grid.to_json_dict()}
+        for name in RESULT_COLUMNS:
+            payload[name] = getattr(self, name).tolist()
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "BatchSweepResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        return cls(
+            grid=DesignGrid.from_json_dict(data["grid"]),
+            **{name: np.asarray(data[name], dtype=np.float64)
+               for name in RESULT_COLUMNS},
+        )
+
+
+@dataclass(frozen=True)
+class _LayerConstants:
+    """Per-layer factors that do not depend on the design point."""
+
+    kernel_area: int            # K^2 (PEs per primitive)
+    pair_cycles: float          # per-pair cycles, dual-channel adjusted
+    channel_pairs: int
+    kernel_load_cycles: int
+    macs: int
+    out_height: int
+    out_width: int
+    padded_width: int
+    out_channels: int           # M (total)
+    out_channels_per_group: int
+    in_channels_per_group: int
+    groups: int
+    kmemory_words: int          # per image
+    omemory_words: int          # per image
+    tiles_by_bits: Dict[int, Tuple[int, int, int]]  # bits -> (th, stripe_rows, stripes)
+
+
+class BatchDesignEvaluator:
+    """Evaluates a fixed network over arrays of design points, columnar.
+
+    Everything that only depends on the network (pair cycles, channel pairs,
+    traffic word counts per image) is computed once at construction;
+    :meth:`evaluate_grid` is then pure array arithmetic — no per-point Python
+    objects — and numerically identical to the scalar per-point path.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        base: Optional[ChainConfig] = None,
+        mode: Mode = "paper",
+        energy: Optional[EnergyParams] = None,
+        gates: Optional[GateCountParams] = None,
+    ) -> None:
+        if mode not in ("paper", "detailed"):
+            raise ConfigurationError(f"mode must be 'paper' or 'detailed', got {mode!r}")
+        self.network = network
+        self.base = base or ChainConfig()
+        self.mode = mode
+        self.energy = energy or EnergyParams()
+        self.gates = gates or GateCountParams()
+        self._layers = [self._constants_for(layer) for layer in network.conv_layers]
+        if not self._layers:
+            raise ConfigurationError(f"{network.name}: no convolutional layers to evaluate")
+        self._max_kernel_area = max(layer.kernel_area for layer in self._layers)
+        self._total_macs = sum(layer.macs for layer in self._layers)
+
+    # ------------------------------------------------------------------ #
+    # per-layer constants
+    # ------------------------------------------------------------------ #
+    def _constants_for(self, layer) -> _LayerConstants:
+        pair = pair_cycles_for(layer, self.mode)
+        if not self.base.dual_channel:
+            pair = pair * layer.kernel_size
+        k = layer.kernel_size
+        if layer.stride == 1:
+            kmem_repeats = math.ceil(layer.out_height / k)
+        else:
+            kmem_repeats = layer.out_height
+        return _LayerConstants(
+            kernel_area=k * k,
+            pair_cycles=pair,
+            channel_pairs=layer.channel_pairs(),
+            kernel_load_cycles=layer.weight_count,
+            macs=layer.macs,
+            out_height=layer.out_height,
+            out_width=layer.out_width,
+            padded_width=layer.padded_width,
+            out_channels=layer.out_channels,
+            out_channels_per_group=layer.out_channels_per_group,
+            in_channels_per_group=layer.in_channels_per_group,
+            groups=layer.groups,
+            kmemory_words=k * k * layer.channel_pairs() * kmem_repeats,
+            omemory_words=2 * layer.out_height * layer.out_width
+            * layer.out_channels * layer.in_channels_per_group,
+            tiles_by_bits={},
+        )
+
+    def _tile_for(self, layer_index: int, bits: int) -> Tuple[int, int, int]:
+        """(th, stripe_rows, stripes) of one layer at one datapath width.
+
+        Delegates to the real :class:`DataflowPlanner` so capacity-driven tile
+        shrinking stays byte-for-byte identical to the scalar path (``Tm`` is
+        recomputed per design point later; it does not influence ``Th``).
+        """
+        constants = self._layers[layer_index]
+        cached = constants.tiles_by_bits.get(bits)
+        if cached is not None:
+            return cached
+        planner = DataflowPlanner(replace(self.base, word_bits=bits))
+        layer = self.network.conv_layers[layer_index]
+        tile = planner.plan(layer, active_primitives=1)
+        stripes = math.ceil(layer.out_height / tile.th)
+        constants.tiles_by_bits[bits] = (tile.th, tile.stripe_rows, stripes)
+        return constants.tiles_by_bits[bits]
+
+    # ------------------------------------------------------------------ #
+    # grid evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_grid(self, grid: DesignGrid) -> BatchSweepResult:
+        """Evaluate every grid point; all metrics as whole-array expressions."""
+        num_pes = grid.num_pes
+        if grid.n_points == 0:
+            empty = np.zeros(0, dtype=np.float64)
+            return BatchSweepResult(grid=grid, **{name: empty for name in RESULT_COLUMNS})
+        smallest = int(num_pes.min())
+        if smallest < self._max_kernel_area:
+            raise ConfigurationError(
+                f"{self.network.name} needs at least {self._max_kernel_area} PEs "
+                f"(largest kernel), but the grid contains {smallest}"
+            )
+
+        frequency = grid.frequency_hz
+        batch = grid.batch.astype(np.float64)
+        n = grid.n_points
+
+        conv_time_s = np.zeros(n)
+        kernel_load_time_s = np.zeros(n)
+        busy_pe_cycles = np.zeros(n)
+        kmem_words = np.zeros(n)
+        omem_words = np.zeros(n)
+        imem_words = np.zeros(n)
+
+        bits_groups = [(int(value), grid.word_bits == value)
+                       for value in np.unique(grid.word_bits)]
+
+        for layer_index, layer in enumerate(self._layers):
+            primitives = num_pes // layer.kernel_area
+            active_pes = primitives * layer.kernel_area
+            cycles_per_image = layer.pair_cycles * layer.channel_pairs / primitives
+            cycles_per_batch = cycles_per_image * batch
+            conv_time_s += cycles_per_batch / frequency
+            kernel_load_time_s += layer.kernel_load_cycles / frequency
+            busy_pe_cycles += active_pes * cycles_per_batch
+            kmem_words += layer.kmemory_words * batch
+            omem_words += layer.omemory_words * batch
+
+            # iMemory words depend on the tile shape: Th is precision-driven
+            # (computed per distinct word width), Tm is design-point-driven
+            for bits, mask in bits_groups:
+                th, stripe_rows, stripes = self._tile_for(layer_index, bits)
+                word = bits // 8
+                tm_capacity = max(1, self.base.omemory_bytes
+                                  // max(1, th * layer.out_width * word))
+                tm = np.maximum(
+                    1, np.minimum(layer.out_channels,
+                                  np.minimum(primitives[mask], tm_capacity)))
+                outer_tiles_per_group = -(-layer.out_channels_per_group // tm)
+                words_per_image = (
+                    outer_tiles_per_group * stripes * stripe_rows
+                    * layer.padded_width * layer.in_channels_per_group * layer.groups
+                )
+                imem_words[mask] += words_per_image * batch[mask]
+
+        total_time_s = conv_time_s + kernel_load_time_s
+        fps = batch / total_time_s
+
+        power_w = chain_power_w(busy_pe_cycles, total_time_s, self.energy)
+        power_w = power_w + memory_power_w(kmem_words, total_time_s,
+                                           self.energy.kmemory_access_j)
+        power_w = power_w + memory_power_w(imem_words, total_time_s,
+                                           self.energy.imemory_access_j)
+        power_w = power_w + memory_power_w(omem_words, total_time_s,
+                                           self.energy.omemory_access_j)
+
+        total_ops = 2 * self._total_macs * batch
+        achieved_gops = total_ops / total_time_s / 1e9
+        peak_gops = num_pes * self.base.ops_per_mac * frequency / 1e9
+        gops_per_watt = achieved_gops / power_w
+
+        return BatchSweepResult(
+            grid=grid,
+            peak_gops=peak_gops,
+            fps=fps,
+            total_time_per_batch_s=total_time_s,
+            achieved_gops=achieved_gops,
+            power_w=power_w,
+            gops_per_watt=gops_per_watt,
+            worst_case_utilization=worst_case_utilization_array(num_pes),
+            total_gates=AreaModel.total_gates_for(num_pes, self.gates),
+        )
+
+
+def worst_case_utilization_array(
+    num_pes: np.ndarray,
+    kernel_sizes: Sequence[int] = MAINSTREAM_KERNEL_SIZES,
+) -> np.ndarray:
+    """Vectorised worst-case spatial utilization over the mainstream kernels.
+
+    Matches :func:`repro.engine.adapters.worst_case_utilization` point by
+    point (0.0 where no kernel fits the chain).
+    """
+    num_pes = np.asarray(num_pes, dtype=np.int64)
+    worst = np.full(num_pes.shape, np.inf)
+    any_fit = np.zeros(num_pes.shape, dtype=bool)
+    for kernel in kernel_sizes:
+        area = kernel * kernel
+        fits = num_pes >= area
+        with np.errstate(divide="ignore", invalid="ignore"):
+            utilization = (num_pes // area) * area / num_pes
+        worst = np.where(fits, np.minimum(worst, utilization), worst)
+        any_fit |= fits
+    return np.where(any_fit, worst, 0.0)

@@ -1,0 +1,93 @@
+"""Pareto-frontier and top-k reduction over columnar sweep results.
+
+A design-space sweep produces one metric vector per design point; what the
+architect actually wants is the small set of points that are not strictly
+worse than some other point on every axis of interest (time vs. power vs.
+area for the chain-architecture exploration of the source paper) plus the
+top-k points by any single figure of merit.  Both reducers operate on the
+struct-of-arrays columns of :class:`repro.analysis.batch.BatchSweepResult`
+without materialising per-point Python objects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def pareto_mask(costs: np.ndarray) -> np.ndarray:
+    """Boolean mask of the Pareto-efficient rows of a cost matrix.
+
+    ``costs`` is ``(n_points, n_objectives)``; every objective is minimised.
+    A point is kept unless another point is <= on every objective and < on at
+    least one (exact duplicates of an efficient point are all kept, so the
+    mask is permutation-invariant).
+
+    The filter removes the points dominated by the current candidate in one
+    vectorised pass and then jumps to the next survivor, so the cost is
+    ``O(frontier_size * n)`` array operations rather than ``O(n^2)`` — fast
+    enough for the 10^5-point grids the batch evaluator produces.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2:
+        raise ConfigurationError(f"costs must be 2D (points x objectives), got {costs.ndim}D")
+    n_points = costs.shape[0]
+    if n_points == 0:
+        return np.zeros(0, dtype=bool)
+    if not np.isfinite(costs).all():
+        raise ConfigurationError("costs must be finite to compute a Pareto frontier")
+
+    surviving = np.arange(n_points)
+    candidate = 0
+    while candidate < costs.shape[0]:
+        better_somewhere = np.any(costs < costs[candidate], axis=1)
+        duplicate = np.all(costs == costs[candidate], axis=1)
+        keep = better_somewhere | duplicate
+        surviving = surviving[keep]
+        costs = costs[keep]
+        # next candidate: first point after the current one that survived
+        candidate = int(np.count_nonzero(keep[:candidate])) + 1
+    mask = np.zeros(n_points, dtype=bool)
+    mask[surviving] = True
+    return mask
+
+
+def pareto_indices(costs: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto-efficient rows, in original order."""
+    return np.flatnonzero(pareto_mask(costs))
+
+
+def top_k_indices(values: np.ndarray, k: int, maximize: bool = True) -> np.ndarray:
+    """Indices of the ``k`` best entries of ``values``, best first.
+
+    Ties are broken by original index (stable), so the selection is
+    deterministic across runs and chunking strategies.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    k = min(k, values.size)
+    order = np.argsort(-values if maximize else values, kind="stable")
+    return order[:k]
+
+
+def objective_matrix(columns: dict, objectives: Sequence[str],
+                     maximize: Sequence[str] = ()) -> np.ndarray:
+    """Stack named metric columns into a minimisation cost matrix.
+
+    Columns named in ``maximize`` are negated so "higher is better" metrics
+    (fps, GOPS/W) can participate in the same minimising frontier.
+    """
+    missing = [name for name in objectives if name not in columns]
+    if missing:
+        raise ConfigurationError(
+            f"unknown objective column(s) {missing}; available: {sorted(columns)}"
+        )
+    stacked = []
+    for name in objectives:
+        column = np.asarray(columns[name], dtype=np.float64)
+        stacked.append(-column if name in maximize else column)
+    return np.stack(stacked, axis=1)

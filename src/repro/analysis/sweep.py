@@ -12,6 +12,11 @@ engine (``analytical``, ``analytical-detailed``, ``cycle``, ``functional``,
 ...), optionally attach an on-disk :class:`~repro.engine.cache.RunCache`, and
 evaluate points in parallel — the sweep table is identical serial or
 parallel, cached or fresh.
+
+Dense grids (10^4+ points) go through :meth:`DesignSpaceExplorer.sweep_grid`
+instead: the ``analytical-batch`` engine evaluates the whole grid as columnar
+NumPy expressions (see :mod:`repro.analysis.batch`), orders of magnitude
+faster than the per-point path and numerically identical to it.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.batch import BatchSweepResult, DesignGrid
 from repro.cnn.network import Network
 from repro.cnn.zoo import alexnet
 from repro.core.config import ChainConfig
@@ -151,6 +157,32 @@ class DesignSpaceExplorer:
         records = self.executor.run_batches(config, batches, parallel=parallel)
         return {batch: record.metrics.get("fps", 0.0)
                 for batch, record in zip(batches, records)}
+
+    # ------------------------------------------------------------------ #
+    # dense grids (columnar fast path)
+    # ------------------------------------------------------------------ #
+    def evaluate_grid(self, grid: DesignGrid, base: Optional[ChainConfig] = None,
+                      chunk_size: Optional[int] = None) -> BatchSweepResult:
+        """Evaluate a dense design grid through the engine's columnar path.
+
+        Engines without ``evaluate_batch`` support fall back to per-point
+        evaluation inside the same interface, so the result shape does not
+        depend on the engine choice.
+        """
+        return self.executor.run_grid(grid, base=base, chunk_size=chunk_size)
+
+    def sweep_grid(self, spec: str, base: Optional[ChainConfig] = None,
+                   chunk_size: Optional[int] = None) -> BatchSweepResult:
+        """Evaluate a grid described by a spec string.
+
+        ``spec`` uses the CLI grid syntax, e.g.
+        ``"pe=128:1152:32,freq=200:1000:50"`` (PE count x frequency in MHz,
+        optionally ``batch=...`` and ``bits=...`` axes; omitted axes default
+        to the base configuration and the explorer's batch size).
+        """
+        base = base or ChainConfig()
+        grid = DesignGrid.parse(spec, base=base, default_batch=self.batch)
+        return self.evaluate_grid(grid, base=base, chunk_size=chunk_size)
 
     def utilization_by_chain_length(self, low: int = 128, high: int = 1152, step: int = 32
                                     ) -> Dict[int, float]:

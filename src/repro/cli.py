@@ -11,7 +11,12 @@ writing any Python:
 * ``experiments`` — regenerate every paper table/figure (paper vs measured),
   with ``--json`` machine-readable headline export;
 * ``sweep``       — chain-length / frequency / batch design-space sweeps,
-  with ``--engine``, ``--parallel`` and an on-disk result cache;
+  with ``--engine``, ``--parallel`` and an on-disk result cache; dense grids
+  via ``--grid pe=128:1152:32,freq=200:1000:50`` run through the columnar
+  ``analytical-batch`` fast path, with ``--pareto`` / ``--top`` reduction;
+* ``pareto``      — grid sweep + Pareto frontier (time vs. power vs. area)
+  in one command;
+* ``cache``       — ``stats`` / ``clear`` for the on-disk sweep result cache;
 * ``verify``      — run the cycle-accurate simulator on small layers and check
   the vectorized fast path against the scalar reference.
 
@@ -30,6 +35,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.batch import DEFAULT_OBJECTIVES, HIGHER_IS_BETTER
 from repro.analysis.report import render_bar_chart, render_dict_table, render_table
 from repro.analysis.sweep import DesignSpaceExplorer
 from repro.cnn.generator import WorkloadGenerator
@@ -170,7 +176,100 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_counters(explorer: DesignSpaceExplorer) -> None:
+    """Surface the executor's cache hit/miss counters after a sweep."""
+    cache = explorer.executor.cache
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(f"cache: {stats['hits']} hits / {stats['misses']} misses, "
+          f"{stats['entries']} entries on disk ({stats['root']})")
+
+
+def _grid_result_payload(args: argparse.Namespace, engine: str, result,
+                         pareto, top) -> dict:
+    payload = {
+        "grid": args.grid,
+        "engine": engine,
+        "network": args.network,
+        "n_points": result.n_points,
+    }
+    if pareto is not None:
+        payload["pareto"] = {"objectives": list(args.objectives),
+                             "points": pareto.rows()}
+    if top is not None:
+        payload["top"] = {"metric": args.metric, "points": top.rows()}
+    return payload
+
+
+def cmd_sweep_grid(args: argparse.Namespace) -> int:
+    """Dense-grid sweep through the columnar batch path."""
+    if getattr(args, "parallel", False) or getattr(args, "jobs", None):
+        # grids run through the columnar evaluate_batch path (serial by
+        # design: the fast path is array arithmetic, the fallback a per-point
+        # loop); refusing beats silently ignoring the requested workers
+        print("error: --parallel/--jobs apply to axis sweeps only; "
+              "--grid evaluates through the columnar batch path", file=sys.stderr)
+        return 2
+    # the columnar engines are numerically identical to their scalar
+    # counterparts; dense grids dispatch to them in either fidelity mode
+    engine = {
+        "analytical": "analytical-batch",
+        "analytical-detailed": "analytical-batch-detailed",
+    }.get(args.engine, args.engine)
+    explorer = DesignSpaceExplorer(
+        get_network(args.network),
+        batch=args.batch,
+        engine=engine,
+        cache=_cache_from_args(args),
+    )
+    result = explorer.sweep_grid(args.grid, base=_config_from_args(args))
+    # higher-is-better columns are negated for the frontier and ranked
+    # descending for --top, so "best" always means best
+    maximized = tuple(name for name in args.objectives if name in HIGHER_IS_BETTER)
+    pareto = (result.pareto(objectives=args.objectives, maximize=maximized)
+              if args.pareto else None)
+    rank_descending = args.metric in HIGHER_IS_BETTER
+    top = (result.top_k(args.metric, args.top, maximize=rank_descending)
+           if args.top else None)
+    if pareto is None and top is None:
+        # no reducer requested: show the best points by the default metric
+        top = result.top_k(args.metric, min(10, result.n_points),
+                           maximize=rank_descending)
+
+    if args.json:
+        print(json.dumps(_grid_result_payload(args, engine, result, pareto, top),
+                         indent=2, sort_keys=True))
+        return 0
+
+    print(f"{result.n_points} design points on {args.network} ({engine}), "
+          f"grid {args.grid}")
+    if pareto is not None:
+        shown = min(pareto.n_points, args.max_rows)
+        title = (f"Pareto frontier ({pareto.n_points} points, "
+                 f"{' vs '.join(args.objectives)})")
+        if shown < pareto.n_points:
+            title += f" — first {shown} shown, use --json for all"
+        order = pareto.top_k("gops_per_watt", shown)
+        print(render_table(order.rows(), title=title, row_names=order.labels(),
+                           row_label="point"))
+    if top is not None:
+        print(render_table(top.rows(), title=f"top {top.n_points} by {args.metric}",
+                           row_names=top.labels(), row_label="point"))
+    _print_cache_counters(explorer)
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.grid is not None and args.axis is not None:
+        print("error: give either a sweep axis or --grid, not both", file=sys.stderr)
+        return 2
+    if args.grid is None and args.axis is None:
+        print("error: need a sweep axis (pes/frequency/batch) or --grid",
+              file=sys.stderr)
+        return 2
+    if args.grid is not None:
+        return cmd_sweep_grid(args)
     explorer = DesignSpaceExplorer(
         get_network(args.network),
         batch=args.batch,
@@ -209,6 +308,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(render_table([point.as_row() for point in points],
                        title=f"{args.axis} sweep on {args.network} ({args.engine})",
                        row_names=[point.label for point in points], row_label="point"))
+    _print_cache_counters(explorer)
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    """Grid sweep + Pareto reduction in one command."""
+    args.pareto = True
+    args.top = None
+    return cmd_sweep_grid(args)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk sweep result cache."""
+    cache = _cache_from_args(args) or RunCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached records from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root : {stats['root']}")
+    print(f"entries    : {stats['entries']}")
+    print(f"size       : {stats['bytes'] / 1024:.1f} KiB")
     return 0
 
 
@@ -277,27 +398,68 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--write-md", nargs="?", const="EXPERIMENTS.md", default=None,
                              metavar="PATH", help="write EXPERIMENTS.md and exit")
 
-    sweep = sub.add_parser("sweep", help="design-space sweeps")
-    sweep.add_argument("axis", choices=("pes", "frequency", "batch"), help="sweep axis")
-    sweep.add_argument("--network", default="alexnet", choices=sorted(NETWORKS))
-    sweep.add_argument("--batch", type=int, default=16)
     config_sensitive = tuple(name for name in available_engines()
                              if not name.startswith("baseline-"))
-    sweep.add_argument("--engine", choices=config_sensitive, default="analytical",
-                       help="engine evaluating each design point (baselines are "
-                            "fixed architectures and cannot be swept)")
+
+    def add_grid_arguments(parser: argparse.ArgumentParser,
+                           pareto_implied: bool) -> None:
+        parser.add_argument("--network", default="alexnet", choices=sorted(NETWORKS))
+        parser.add_argument("--batch", type=int, default=16)
+        parser.add_argument("--engine", choices=config_sensitive, default="analytical",
+                            help="engine evaluating each design point (baselines are "
+                                 "fixed architectures and cannot be swept); grids "
+                                 "upgrade 'analytical' to the columnar "
+                                 "'analytical-batch' fast path")
+        parser.add_argument("--grid", default=None if not pareto_implied
+                            else "pe=128:1152:32,freq=200:1000:50",
+                            metavar="SPEC",
+                            help="dense design grid, e.g. "
+                                 "pe=128:1152:32,freq=200:1000:50[,batch=...][,bits=...] "
+                                 "(freq in MHz, ranges are start:stop:step with "
+                                 "inclusive stop)")
+        parser.add_argument("--objectives", default=DEFAULT_OBJECTIVES,
+                            type=lambda text: tuple(text.split(",")),
+                            metavar="COL1,COL2,...",
+                            help="metric columns minimised by the Pareto frontier "
+                                 f"(default: {','.join(DEFAULT_OBJECTIVES)})")
+        parser.add_argument("--metric", default="gops_per_watt",
+                            help="metric column for --top ranking")
+        parser.add_argument("--max-rows", type=_positive_int, default=20,
+                            help="frontier rows printed in text mode")
+        parser.add_argument("--json", action="store_true",
+                            help="emit the results as JSON")
+        parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="memoise design points in this directory "
+                                 f"(${CACHE_DIR_ENV} enables the default location)")
+        parser.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk result cache even when "
+                                 f"${CACHE_DIR_ENV} is set")
+
+    sweep = sub.add_parser("sweep", help="design-space sweeps")
+    sweep.add_argument("axis", nargs="?", choices=("pes", "frequency", "batch"),
+                       help="sweep axis (omit when sweeping a dense --grid)")
+    add_grid_arguments(sweep, pareto_implied=False)
+    sweep.add_argument("--pareto", action="store_true",
+                       help="reduce a --grid sweep to its Pareto frontier")
+    sweep.add_argument("--top", type=_positive_int, default=None, metavar="K",
+                       help="also report the top-K points by --metric")
     sweep.add_argument("--parallel", action="store_true",
                        help="evaluate design points in worker processes")
     sweep.add_argument("--jobs", type=_positive_int, default=None,
                        help="worker processes for --parallel "
                             "(default: min(points, CPU cores))")
-    sweep.add_argument("--json", action="store_true", help="emit the sweep table as JSON")
-    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="memoise design points in this directory "
-                            f"(${CACHE_DIR_ENV} enables the default location)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the on-disk result cache even when "
-                            f"${CACHE_DIR_ENV} is set")
+
+    pareto = sub.add_parser("pareto",
+                            help="grid sweep reduced to its Pareto frontier "
+                                 "(time vs. power vs. area)")
+    add_grid_arguments(pareto, pareto_implied=True)
+
+    cache = sub.add_parser("cache", help="inspect or clear the on-disk sweep cache")
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="show entry/size statistics or delete every record")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: "
+                            f"${CACHE_DIR_ENV} or ~/.cache/repro-chain-nn)")
 
     verify = sub.add_parser("verify", help="cycle-accurate verification on small layers")
     verify.add_argument("--seed", type=int, default=2017)
@@ -316,6 +478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "experiments": cmd_experiments,
         "sweep": cmd_sweep,
+        "pareto": cmd_pareto,
+        "cache": cmd_cache,
         "verify": cmd_verify,
     }
     return handlers[args.command](args)

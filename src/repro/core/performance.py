@@ -42,6 +42,54 @@ from repro.errors import ConfigurationError
 Mode = Literal["paper", "detailed"]
 
 
+# --------------------------------------------------------------------- #
+# per-pair closed forms (module level so the columnar batch evaluator of
+# :mod:`repro.analysis.batch` evaluates the *same* arithmetic per layer)
+# --------------------------------------------------------------------- #
+def pair_cycles_paper(layer: ConvLayer) -> float:
+    """Idealised (Fig. 9) cycles for one primitive to process one channel pair."""
+    k = layer.kernel_size
+    fill = k * k - 1
+    stripes = layer.out_height / k
+    stream = k * layer.out_width * layer.stride
+    if layer.stride == 1:
+        per_stripe = stream + fill
+    else:
+        # striding makes the stripe input-bound; the fill hides under the
+        # extra streaming cycles (this is what the paper's conv1 time implies)
+        per_stripe = max(stream, k * layer.out_width + fill)
+    return stripes * per_stripe
+
+
+def pair_cycles_detailed(layer: ConvLayer) -> int:
+    """Register-accurate cycles for one channel pair (cycle-sim accounting)."""
+    k = layer.kernel_size
+    width = layer.padded_width
+    total = 0
+    drain = 2 * k * k + 2
+    for out_rows in stripe_plan(layer.out_height, k):
+        stripe_rows = (out_rows - 1) * layer.stride + k
+        # strided layers stream every column at stride-1 cadence and
+        # discard the outputs that do not fall on the stride grid
+        schedule = ColumnScanSchedule(k, width, stripe_rows=min(stripe_rows, 2 * k - 1))
+        total += schedule.total_timestamps + drain
+    if layer.stride > 1:
+        # rows skipped vertically between stripes still have to be read
+        # out of iMemory but do not occupy the MAC schedule; the dominant
+        # term is the horizontal stride-1 streaming already counted above.
+        total = int(total * layer.stride)
+    return total
+
+
+def pair_cycles_for(layer: ConvLayer, mode: Mode) -> float:
+    """Dispatch the per-pair closed form by fidelity mode."""
+    if mode == "paper":
+        return pair_cycles_paper(layer)
+    if mode == "detailed":
+        return float(pair_cycles_detailed(layer))
+    raise ConfigurationError(f"mode must be 'paper' or 'detailed', got {mode!r}")
+
+
 @dataclass(frozen=True)
 class LayerPerformance:
     """Timing of one convolutional layer on the chain."""
@@ -173,40 +221,14 @@ class PerformanceModel:
     # ------------------------------------------------------------------ #
     def pair_cycles(self, layer: ConvLayer) -> float:
         """Cycles for one systolic primitive to process one channel pair."""
-        if self.mode == "paper":
-            return self._pair_cycles_paper(layer)
-        return float(self._pair_cycles_detailed(layer))
+        return pair_cycles_for(layer, self.mode)
 
+    # kept as methods for callers that poke at the individual accountings
     def _pair_cycles_paper(self, layer: ConvLayer) -> float:
-        k = layer.kernel_size
-        fill = k * k - 1
-        stripes = layer.out_height / k
-        stream = k * layer.out_width * layer.stride
-        if layer.stride == 1:
-            per_stripe = stream + fill
-        else:
-            # striding makes the stripe input-bound; the fill hides under the
-            # extra streaming cycles (this is what the paper's conv1 time implies)
-            per_stripe = max(stream, k * layer.out_width + fill)
-        return stripes * per_stripe
+        return pair_cycles_paper(layer)
 
     def _pair_cycles_detailed(self, layer: ConvLayer) -> int:
-        k = layer.kernel_size
-        width = layer.padded_width
-        total = 0
-        drain = 2 * k * k + 2
-        for out_rows in stripe_plan(layer.out_height, k):
-            stripe_rows = (out_rows - 1) * layer.stride + k
-            # strided layers stream every column at stride-1 cadence and
-            # discard the outputs that do not fall on the stride grid
-            schedule = ColumnScanSchedule(k, width, stripe_rows=min(stripe_rows, 2 * k - 1))
-            total += schedule.total_timestamps + drain
-        if layer.stride > 1:
-            # rows skipped vertically between stripes still have to be read
-            # out of iMemory but do not occupy the MAC schedule; the dominant
-            # term is the horizontal stride-1 streaming already counted above.
-            total = int(total * layer.stride)
-        return total
+        return pair_cycles_detailed(layer)
 
     # ------------------------------------------------------------------ #
     # layer / network level

@@ -62,6 +62,20 @@ class AreaModel:
         self.config = config or ChainConfig()
         self.gates = gates or GateCountParams()
 
+    @classmethod
+    def total_gates_for(cls, num_pes, gates: GateCountParams | None = None,
+                        reference_kernel: int = 3):
+        """Total-logic-gates closed form.
+
+        ``num_pes`` may be a scalar or an integer NumPy array (the columnar
+        batch evaluator applies this to a whole design grid at once); the
+        arithmetic is identical to :meth:`report`'s ``total_gates``.
+        """
+        gates = gates or GateCountParams()
+        ports = num_pes // (reference_kernel * reference_kernel)
+        return (float(gates.per_pe_gates) * num_pes + cls.CONTROLLER_GATES
+                + cls.PORT_INTERFACE_GATES * ports)
+
     def report(self, name: str = "Chain-NN", reference_kernel: int = 3) -> AreaReport:
         """Build the area report.
 

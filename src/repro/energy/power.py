@@ -31,6 +31,22 @@ from repro.errors import ConfigurationError
 from repro.memory.traffic import NetworkTraffic, TrafficModel
 
 
+# --------------------------------------------------------------------- #
+# closed forms (shared with the columnar batch evaluator, which applies
+# them to whole arrays of design points at once — keep them free of any
+# scalar-only operations)
+# --------------------------------------------------------------------- #
+def chain_power_w(busy_pe_cycles, runtime_s, energy: EnergyParams):
+    """Chain block power: busy PE-cycles x per-cycle energy (+ static share)."""
+    chain_w = busy_pe_cycles * energy.pe_cycle_j / runtime_s
+    return chain_w * (1.0 + energy.static_fraction)
+
+
+def memory_power_w(word_accesses, runtime_s, access_energy_j):
+    """SRAM/register-file block power: word accesses x per-access energy."""
+    return word_accesses * access_energy_j / runtime_s
+
+
 @dataclass(frozen=True)
 class PowerReport:
     """Power breakdown of one workload on one configuration."""
@@ -108,17 +124,15 @@ class PowerModel:
         busy_pe_cycles = sum(
             layer.mapping.active_pes * layer.conv_cycles_per_batch for layer in perf.layers
         )
-        chain_dynamic_j = busy_pe_cycles * self.energy.pe_cycle_j
-        chain_w = chain_dynamic_j / runtime_s
-        chain_w *= 1.0 + self.energy.static_fraction
+        chain_w = chain_power_w(busy_pe_cycles, runtime_s, self.energy)
 
         # memories: word accesses x per-access energy
         kmem_words = sum(layer.kmemory_bytes for layer in traffic.layers) / word
         imem_words = sum(layer.imemory_bytes for layer in traffic.layers) / word
         omem_words = sum(layer.omemory_bytes for layer in traffic.layers) / word
-        kmemory_w = kmem_words * self.energy.kmemory_access_j / runtime_s
-        imemory_w = imem_words * self.energy.imemory_access_j / runtime_s
-        omemory_w = omem_words * self.energy.omemory_access_j / runtime_s
+        kmemory_w = memory_power_w(kmem_words, runtime_s, self.energy.kmemory_access_j)
+        imemory_w = memory_power_w(imem_words, runtime_s, self.energy.imemory_access_j)
+        omemory_w = memory_power_w(omem_words, runtime_s, self.energy.omemory_access_j)
 
         return PowerReport(
             name=name,

@@ -13,6 +13,7 @@ True
 
 from repro.engine.adapters import (
     DEFAULT_ENGINES,
+    AnalyticalBatchEngine,
     AnalyticalEngine,
     BaselineEngine,
     CycleEngine,
@@ -25,10 +26,11 @@ from repro.engine.cache import (
     CACHE_DIR_ENV,
     RunCache,
     default_cache_dir,
+    grid_key,
     run_key,
     workload_fingerprint,
 )
-from repro.engine.executor import SweepExecutor
+from repro.engine.executor import GRID_CHUNK_POINTS, SweepExecutor
 from repro.engine.registry import (
     available_engines,
     create_engine,
@@ -38,6 +40,7 @@ from repro.engine.registry import (
 )
 
 __all__ = [
+    "AnalyticalBatchEngine",
     "AnalyticalEngine",
     "BaselineEngine",
     "CACHE_DIR_ENV",
@@ -45,9 +48,11 @@ __all__ = [
     "DEFAULT_ENGINES",
     "Engine",
     "FunctionalEngine",
+    "GRID_CHUNK_POINTS",
     "RunCache",
     "RunRecord",
     "SweepExecutor",
+    "grid_key",
     "available_engines",
     "create_engine",
     "default_cache_dir",

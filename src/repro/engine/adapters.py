@@ -2,6 +2,9 @@
 
 * :class:`AnalyticalEngine` — the :class:`~repro.core.accelerator.ChainNN`
   facade (performance + power + area + utilization) in either fidelity mode;
+* :class:`AnalyticalBatchEngine` — the same closed forms evaluated columnar
+  (struct-of-arrays) over whole design grids: the ``evaluate_batch`` fast
+  path design-space sweeps dispatch to;
 * :class:`CycleEngine` — the cycle-accurate simulator (vectorized fast path
   or register-accurate scalar cross-check) on synthetic seeded tensors;
 * :class:`FunctionalEngine` — the dataflow-level simulator;
@@ -17,7 +20,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import asdict
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.batch import BatchDesignEvaluator, BatchSweepResult, DesignGrid
 
 from repro.baselines.base import AcceleratorModel, AcceleratorSummary
 from repro.baselines.chain_nn_model import ChainNNModel
@@ -103,6 +109,64 @@ class AnalyticalEngine(Engine):
             "mode": self.mode,
             "default_config": dataclasses.asdict(self._chip.config),
             "energy": dataclasses.asdict(self._chip.power_model.energy),
+        }
+
+
+class AnalyticalBatchEngine(Engine):
+    """Columnar batch evaluation of the analytical models (design grids).
+
+    Point evaluations delegate to a wrapped :class:`AnalyticalEngine` (so a
+    single-point ``evaluate`` is numerically the scalar path, merely renamed
+    in the record); :meth:`evaluate_batch` is the struct-of-arrays fast path
+    of :class:`repro.analysis.batch.BatchDesignEvaluator` — the same closed
+    forms as whole-array expressions, with per-network layer constants
+    memoised across chunks of the same sweep.
+    """
+
+    supports_batch = True
+
+    def __init__(self, config: Optional[ChainConfig] = None, mode: str = "paper") -> None:
+        self._scalar = AnalyticalEngine(config=config, mode=mode)
+        self.mode = self._scalar.mode
+        self.name = ("analytical-batch" if self.mode == "paper"
+                     else f"analytical-batch-{self.mode}")
+        #: BatchDesignEvaluator per (workload, base-config) pair
+        self._evaluators: Dict[str, "BatchDesignEvaluator"] = {}
+
+    @property
+    def default_config(self) -> ChainConfig:
+        """Base configuration supplying the non-grid fields."""
+        return self._scalar.chip.config
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        record = self._scalar.evaluate(network, config, batch)
+        return dataclasses.replace(record, engine=self.name)
+
+    def evaluate_batch(self, network: Network, grid: "DesignGrid",
+                       base: Optional[ChainConfig] = None) -> "BatchSweepResult":
+        from repro.analysis.batch import BatchDesignEvaluator
+
+        base = base or self.default_config
+        key = canonical_json({
+            "workload": workload_fingerprint(network),
+            "base": config_fingerprint(base),
+        })
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = BatchDesignEvaluator(
+                network, base=base, mode=self.mode,
+                energy=self._scalar.chip.power_model.energy,
+            )
+            self._evaluators[key] = evaluator
+        return evaluator.evaluate_grid(grid)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "default_config": dataclasses.asdict(self.default_config),
+            "energy": dataclasses.asdict(self._scalar.chip.power_model.energy),
         }
 
 
@@ -359,6 +423,15 @@ def _make_analytical_detailed(**kwargs) -> AnalyticalEngine:
     return AnalyticalEngine(**kwargs)
 
 
+def _make_analytical_batch(**kwargs) -> AnalyticalBatchEngine:
+    return AnalyticalBatchEngine(**kwargs)
+
+
+def _make_analytical_batch_detailed(**kwargs) -> AnalyticalBatchEngine:
+    kwargs.setdefault("mode", "detailed")
+    return AnalyticalBatchEngine(**kwargs)
+
+
 def _make_cycle(**kwargs) -> CycleEngine:
     return CycleEngine(**kwargs)
 
@@ -392,6 +465,8 @@ def _make_baseline_dadiannao(**kwargs) -> BaselineEngine:
 DEFAULT_ENGINES = {
     "analytical": _make_analytical,
     "analytical-detailed": _make_analytical_detailed,
+    "analytical-batch": _make_analytical_batch,
+    "analytical-batch-detailed": _make_analytical_batch_detailed,
     "cycle": _make_cycle,
     "cycle-scalar": _make_cycle_scalar,
     "functional": _make_functional,

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+import numpy as np
 
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.batch import BatchSweepResult, DesignGrid
 
 
 @dataclass(frozen=True)
@@ -118,10 +123,63 @@ class Engine(abc.ABC):
     #: registry name (set by the adapter; used in records and cache keys)
     name: str = "engine"
 
+    #: True when :meth:`evaluate_batch` is a genuine columnar fast path
+    #: rather than the per-point fallback loop below
+    supports_batch: bool = False
+
     @abc.abstractmethod
     def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
                  batch: int = 1) -> RunRecord:
         """Evaluate ``network`` at ``config`` (engine default when ``None``)."""
+
+    def evaluate_batch(self, network: Network, grid: "DesignGrid",
+                       base: Optional[ChainConfig] = None) -> "BatchSweepResult":
+        """Evaluate a whole design grid; returns struct-of-arrays columns.
+
+        The default implementation is the per-point fallback: every grid
+        point is materialised as a :class:`ChainConfig` and pushed through
+        :meth:`evaluate`, with config-only metrics (gate count, worst-case
+        utilization) backfilled for engines that do not model them.  Engines
+        with a real columnar path override this and set
+        :attr:`supports_batch` (see
+        :class:`repro.engine.adapters.AnalyticalBatchEngine`).
+        """
+        from repro.analysis.batch import (
+            RESULT_COLUMNS,
+            BatchSweepResult,
+            worst_case_utilization_array,
+        )
+        from repro.energy.area import AreaModel
+
+        columns = {name: np.zeros(grid.n_points) for name in RESULT_COLUMNS}
+        gates_cache: Dict[int, float] = {}
+        engine_models_utilization = True
+        for index in range(grid.n_points):
+            config = grid.config_at(index, base)
+            record = self.evaluate(network, config, batch=int(grid.batch[index]))
+            columns["peak_gops"][index] = record.metric("peak_gops",
+                                                        default=config.peak_gops)
+            columns["fps"][index] = record.metric("fps", default=0.0)
+            columns["total_time_per_batch_s"][index] = record.metric(
+                "total_time_per_batch_s", default=0.0)
+            columns["achieved_gops"][index] = record.metric("achieved_gops", default=0.0)
+            columns["power_w"][index] = record.metric("power_w", default=0.0)
+            columns["gops_per_watt"][index] = record.metric("gops_per_watt", default=0.0)
+            total_gates = record.metrics.get("total_gates")
+            if total_gates is None:
+                pes = config.num_pes
+                if pes not in gates_cache:
+                    gates_cache[pes] = AreaModel(config).report().total_gates
+                total_gates = gates_cache[pes]
+            columns["total_gates"][index] = total_gates
+            worst = record.metrics.get("worst_case_utilization")
+            if worst is None:
+                engine_models_utilization = False
+            else:
+                columns["worst_case_utilization"][index] = worst
+        if not engine_models_utilization:
+            columns["worst_case_utilization"] = worst_case_utilization_array(grid.num_pes)
+        return BatchSweepResult(grid=grid, **columns)
 
     def fingerprint(self) -> Dict[str, Any]:
         """Engine identity entering the cache key.

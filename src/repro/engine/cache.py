@@ -85,6 +85,28 @@ def run_key(engine: Engine, network: Network, config: Optional[ChainConfig],
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def grid_key(engine: Engine, network: Network, base: Optional[ChainConfig],
+             grid) -> str:
+    """Cache key of one columnar grid-chunk evaluation.
+
+    The whole chunk (every axis column) enters the hash, so any change to the
+    grid, the base configuration, the engine fingerprint, the workload or the
+    schema/version yields a different key — the same invalidation story as
+    :func:`run_key`, at chunk granularity.
+    """
+    from repro import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "engine": engine.fingerprint(),
+        "base": config_fingerprint(base),
+        "workload": workload_fingerprint(network),
+        "grid": grid.to_json_dict(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
 class RunCache:
     """One-file-per-record JSON cache with hit/miss accounting."""
 
@@ -136,6 +158,30 @@ class RunCache:
             except OSError:
                 pass
             raise
+
+    def stats(self) -> Dict[str, Any]:
+        """On-disk and in-process cache statistics.
+
+        ``entries``/``bytes`` describe the directory contents; ``hits`` and
+        ``misses`` count this process's :meth:`get` outcomes (the counters
+        the sweep executor surfaces after a run).
+        """
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def clear(self) -> int:
         """Delete every cached record; returns the number removed."""

@@ -101,7 +101,71 @@ def headline_json(report: Optional[ReproductionReport] = None) -> Dict[str, Any]
     }
 
 
-def render_experiments_md(report: Optional[ReproductionReport] = None) -> str:
+def design_space_section(bench_path: str | Path = "BENCH_sweep.json") -> str:
+    """The design-space-exploration chapter of EXPERIMENTS.md.
+
+    Documents the grid syntax and the Pareto output, and quotes the measured
+    columnar-vs-scalar sweep throughput from ``BENCH_sweep.json`` when the
+    benchmark has been run (``pytest benchmarks/bench_batch_sweep.py``).
+    """
+    lines = [
+        "## Design-space exploration",
+        "",
+        "Dense grids are evaluated through the columnar `analytical-batch`",
+        "engine (struct-of-arrays NumPy expressions over the same closed",
+        "forms as the scalar models — numerically identical, asserted by",
+        "`tests/test_batch_sweep.py`).",
+        "",
+        "Grid syntax (CLI `repro sweep --grid` / `repro pareto --grid`):",
+        "",
+        "```text",
+        "pe=128:1152:32,freq=200:1000:50[,batch=1:128:16][,bits=16]",
+        "```",
+        "",
+        "Axes: `pe` (chain length), `freq` (MHz), `batch`, `bits` (datapath",
+        "width, multiples of 8).  Ranges are `start:stop:step` with an",
+        "inclusive stop; omitted axes default to the `--pes`/`--frequency-mhz`",
+        "configuration.  `--pareto` reduces the grid to its frontier",
+        "(minimising `total_time_per_batch_s`, `power_w` and `total_gates` by",
+        "default; override with `--objectives col1,col2,...`); `--top K",
+        "--metric NAME` ranks by a single column.  `--json` emits the",
+        "reduction as `{grid, engine, n_points, pareto: {objectives, points},",
+        "top: {metric, points}}`, where each point row carries PEs, frequency,",
+        "batch, bits, peak/achieved GOPS, fps, power, GOPS/W, worst-case",
+        "utilization and gate count.",
+        "",
+    ]
+    bench_path = Path(bench_path)
+    bench = None
+    if bench_path.is_file():
+        try:
+            bench = json.loads(bench_path.read_text(encoding="utf-8"))
+        except ValueError:
+            bench = None
+    if bench and "batch_points_per_s" in bench:
+        lines += [
+            "Measured sweep throughput (`BENCH_sweep.json`, "
+            f"{bench.get('n_points', '?')}-point grid `{bench.get('grid', '?')}`):",
+            "",
+            "| path | points/s |",
+            "| --- | --- |",
+            f"| columnar (`analytical-batch`) | {bench['batch_points_per_s']:,.0f} |",
+            f"| scalar per-point | {bench.get('scalar_points_per_s', 0):,.0f} |",
+            "",
+            f"Speedup: **{bench.get('speedup_vs_scalar', 0):,.0f}x** "
+            f"({bench.get('batch_ns_per_point', 0):,.0f} ns/point).",
+        ]
+    else:
+        lines += [
+            "Measured throughput: run `pytest benchmarks/bench_batch_sweep.py`",
+            "to populate `BENCH_sweep.json` (the numbers quoted here are",
+            "regenerated from it).",
+        ]
+    return "\n".join(lines)
+
+
+def render_experiments_md(report: Optional[ReproductionReport] = None,
+                          bench_path: str | Path = "BENCH_sweep.json") -> str:
     """EXPERIMENTS.md content: every paper artifact, paper vs measured."""
     report = report or run_all()
     headline_rows = "\n".join(
@@ -133,14 +197,23 @@ def render_experiments_md(report: Optional[ReproductionReport] = None) -> str:
         f"{headline_rows}\n"
         "\n"
         f"{body}\n"
+        "\n"
+        f"{design_space_section(bench_path)}\n"
     )
 
 
 def write_experiments_md(path: str | Path = "EXPERIMENTS.md",
                          report: Optional[ReproductionReport] = None) -> Path:
-    """Write :func:`render_experiments_md` output to ``path``."""
+    """Write :func:`render_experiments_md` output to ``path``.
+
+    ``BENCH_sweep.json`` is looked up next to the output file (that is where
+    ``benchmarks/_record.py`` writes it — the repo root), so regeneration
+    quotes the measured sweep throughput regardless of the caller's cwd.
+    """
     path = Path(path)
-    path.write_text(render_experiments_md(report), encoding="utf-8")
+    bench_path = path.resolve().parent / "BENCH_sweep.json"
+    path.write_text(render_experiments_md(report, bench_path=bench_path),
+                    encoding="utf-8")
     return path
 
 

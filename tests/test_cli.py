@@ -148,3 +148,99 @@ class TestEngineCommands:
     def test_verify_scalar_backend(self, capsys):
         assert main(["verify", "--backend", "scalar"]) == 0
         assert "PASSED" in capsys.readouterr().out
+
+
+class TestGridCommands:
+    def test_sweep_grid_pareto_alexnet(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:1152:32,freq=200:1000:50",
+                     "--pareto"]) == 0
+        out = capsys.readouterr().out
+        assert "561 design points" in out
+        assert "Pareto frontier" in out
+        assert "analytical-batch" in out
+
+    def test_sweep_grid_json_has_nonempty_pareto(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:1152:64,freq=200:1000:200",
+                     "--pareto", "--network", "alexnet", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "analytical-batch"
+        assert payload["n_points"] > 0
+        assert len(payload["pareto"]["points"]) > 0
+
+    def test_sweep_grid_top_k(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:576:64", "--top", "3",
+                     "--network", "lenet5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["top"]["metric"] == "gops_per_watt"
+        assert len(payload["top"]["points"]) == 3
+
+    def test_sweep_rejects_axis_and_grid_together(self, capsys):
+        assert main(["sweep", "pes", "--grid", "pe=128:256:64"]) == 2
+        assert "not both" in capsys.readouterr().err
+        assert main(["sweep"]) == 2
+        assert "need a sweep axis" in capsys.readouterr().err
+
+    def test_sweep_grid_rejects_parallel(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:256:64", "--parallel"]) == 2
+        assert "axis sweeps only" in capsys.readouterr().err
+
+    def test_sweep_grid_upgrades_detailed_engine(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:256:64", "--network", "lenet5",
+                     "--engine", "analytical-detailed", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "analytical-batch-detailed"
+
+    def test_top_ranks_lower_is_better_metrics_ascending(self, capsys):
+        assert main(["sweep", "--grid", "pe=128:576:64", "--network", "lenet5",
+                     "--top", "3", "--metric", "power_w", "--json"]) == 0
+        points = json.loads(capsys.readouterr().out)["top"]["points"]
+        powers = [p["Power (W)"] for p in points]
+        assert powers == sorted(powers)  # best = lowest power first
+
+    def test_pareto_respects_metric_direction_in_objectives(self, capsys):
+        # fps is higher-is-better: with a single maximised objective the
+        # frontier collapses to the fastest point(s), not the slowest
+        assert main(["sweep", "--grid", "pe=128:576:64", "--network", "lenet5",
+                     "--pareto", "--objectives", "fps", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        frontier_fps = {p["fps"] for p in payload["pareto"]["points"]}
+        assert len(frontier_fps) == 1
+        assert main(["sweep", "--grid", "pe=128:576:64", "--network", "lenet5",
+                     "--top", "1", "--metric", "fps", "--json"]) == 0
+        best = json.loads(capsys.readouterr().out)["top"]["points"][0]["fps"]
+        assert frontier_fps == {best}
+
+    def test_pareto_command_defaults(self, capsys):
+        assert main(["pareto", "--network", "lenet5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["pareto"]["points"]) > 0
+
+    def test_grid_sweep_uses_cache(self, capsys, tmp_path):
+        args = ["sweep", "--grid", "pe=128:576:64", "--network", "lenet5",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hits" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "1 hits" in second
+
+
+class TestCacheCommands:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "pes", "--network", "lenet5", "--batch", "4",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 7" in out and cache_dir in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 7 cached records" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries    : 0" in capsys.readouterr().out
+
+    def test_cache_env_var_location(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        assert str(tmp_path) in capsys.readouterr().out

@@ -160,6 +160,55 @@ class TestCache:
         assert cache.misses == 2
 
 
+class TestCacheInvalidation:
+    """Stale results must never be served: every input enters the key."""
+
+    def test_key_changes_with_engine_mode_and_version(self, network, monkeypatch):
+        config = ChainConfig()
+        paper_key = run_key(create_engine("analytical"), network, config, 4)
+        detailed_key = run_key(create_engine("analytical-detailed"), network, config, 4)
+        assert paper_key != detailed_key
+        monkeypatch.setattr("repro.__version__", "0.0.0-test")
+        assert run_key(create_engine("analytical"), network, config, 4) != paper_key
+
+    def test_key_changes_with_engine_parameters(self, network):
+        config = ChainConfig()
+        default_seed = run_key(create_engine("cycle"), network, config, 1)
+        other_seed = run_key(create_engine("cycle", seed=1), network, config, 1)
+        assert default_seed != other_seed
+
+    def test_key_changes_with_network_definition(self, network):
+        from repro.cnn.network import Network
+
+        engine = create_engine("analytical")
+        config = ChainConfig()
+        key = run_key(engine, network, config, 4)
+        # same name, one layer geometry tweaked: the key must still change
+        layers = list(network.conv_layers)
+        layers[0] = layers[0].scaled(out_channels=layers[0].out_channels * 2)
+        widened = Network(name=network.name, layers=layers)
+        assert run_key(engine, widened, config, 4) != key
+
+    def test_stale_schema_entry_is_ignored(self, network, tmp_path, monkeypatch):
+        """A record cached under an older key schema must not be returned."""
+        import repro.engine.cache as cache_module
+
+        cache = RunCache(tmp_path)
+        engine = create_engine("analytical")
+        record = engine.evaluate(network, None, 4)
+        stale_key = run_key(engine, network, None, 4)
+        cache.put(stale_key, record)
+        monkeypatch.setattr(cache_module, "CACHE_SCHEMA", cache_module.CACHE_SCHEMA + 1)
+        fresh_key = run_key(engine, network, None, 4)
+        assert fresh_key != stale_key
+        assert cache.get(fresh_key) is None  # stale entry ignored, not returned
+        # and the executor re-evaluates rather than serving the stale record
+        executor = SweepExecutor(engine="analytical", network=network, batch=4,
+                                 cache=cache)
+        fresh = executor.run([None])[0]
+        assert not fresh.cached
+
+
 class _CountingEngine(Engine):
     """Deterministic stub that counts how often it actually evaluates."""
 

@@ -54,6 +54,21 @@ class TestFunctionalCorrectness:
         ifmaps, weights = _tensors(layer, seed=4)
         assert simulator.run_and_check(layer, ifmaps, weights)["max_abs_error"] < 1e-9
 
+    def test_golden_check_agrees_with_both_references(self, simulator):
+        """The im2col-based golden check never diverges from the direct one.
+
+        ``max_abs_error_vs_reference`` compares against the im2col/GEMM
+        reference (fast on large layers); this pins the simulator output to
+        the direct reference too, so the two golden paths stay interchangeable.
+        """
+        layer = ConvLayer("fx", 4, 6, 13, 13, kernel_size=3, stride=2,
+                          padding=1, groups=2)
+        ifmaps, weights = _tensors(layer, seed=5)
+        result = simulator.run_layer(layer, ifmaps, weights)
+        assert result.max_abs_error_vs_reference(ifmaps, weights) < 1e-9
+        direct = conv2d_direct(layer, ifmaps, weights)
+        assert float(np.max(np.abs(direct - result.ofmaps))) < 1e-9
+
     def test_shape_validation(self, simulator):
         layer = ConvLayer("f5", 2, 2, 8, 8, kernel_size=3)
         ifmaps, weights = _tensors(layer)
