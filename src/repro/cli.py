@@ -17,8 +17,10 @@ writing any Python:
 * ``pareto``      — grid sweep + Pareto frontier (time vs. power vs. area)
   in one command;
 * ``cache``       — ``stats`` / ``clear`` for the on-disk sweep result cache;
-* ``verify``      — run the cycle-accurate simulator on small layers and check
-  the vectorized fast path against the scalar reference.
+* ``verify``      — cross-check the cycle-accurate simulator's backends on
+  small layers (``--sim cycle``), or run whole-network functional dataflow
+  verification (``--sim functional [--network alexnet]``) through the
+  vectorized window-enumeration backend.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
 instantiations can be explored from the shell.  All evaluation dispatches
@@ -47,6 +49,7 @@ from repro.engine import CACHE_DIR_ENV, RunCache, available_engines, create_engi
 from repro.hwmodel.clock import ClockDomain
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
+from repro.sim.network import FunctionalNetworkRunner
 
 
 def _config_from_args(args: argparse.Namespace) -> ChainConfig:
@@ -334,8 +337,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    if args.sim == "functional":
+        return _verify_functional(args)
+    if args.network != "tiny":
+        print("error: --network applies to --sim functional only (the scalar "
+              "cycle cross-check is limited to the tiny network)", file=sys.stderr)
+        return 2
     config = _config_from_args(args)
-    backends = list(CYCLE_BACKENDS) if args.backend == "both" else [args.backend]
+    backend = args.backend or "both"
+    backends = list(CYCLE_BACKENDS) if backend == "both" else [backend]
     simulators = {
         backend: CycleAccurateChainSimulator(config, backend=backend)
         for backend in backends
@@ -363,6 +373,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
               f"[{'+'.join(backends)}] {status}")
     print("verification " + ("PASSED" if failures == 0 else f"FAILED ({failures} layers)"))
     return 0 if failures == 0 else 1
+
+
+def _verify_functional(args: argparse.Namespace) -> int:
+    """Whole-network dataflow verification through the functional simulator.
+
+    The default backend cross-checks scalar vs vectorized bit-identity on the
+    tiny network; zoo-scale networks default to the vectorized fast path
+    (golden-checked against the im2col reference per layer), which keeps full
+    AlexNet/VGG verification a seconds-scale operation.
+    """
+    network = (tiny_test_network() if args.network == "tiny"
+               else get_network(args.network))
+    backend = args.backend or ("both" if args.network == "tiny" else "vectorized")
+    runner = FunctionalNetworkRunner(
+        _config_from_args(args), backend=backend, seed=args.seed
+    )
+    result = runner.run(network)
+    print(result.describe())
+    return 0 if result.passed else 1
 
 
 # --------------------------------------------------------------------- #
@@ -461,10 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: "
                             f"${CACHE_DIR_ENV} or ~/.cache/repro-chain-nn)")
 
-    verify = sub.add_parser("verify", help="cycle-accurate verification on small layers")
+    verify = sub.add_parser(
+        "verify",
+        help="simulator verification: cycle-accurate cross-check on small "
+             "layers, or whole-network functional dataflow verification",
+    )
     verify.add_argument("--seed", type=int, default=2017)
-    verify.add_argument("--backend", choices=CYCLE_BACKENDS + ("both",), default="both",
-                        help="simulator backend (default: cross-check both)")
+    verify.add_argument("--sim", choices=("cycle", "functional"), default="cycle",
+                        help="which simulator to verify (default: cycle)")
+    verify.add_argument("--network", choices=("tiny",) + tuple(sorted(NETWORKS)),
+                        default="tiny",
+                        help="network to verify with --sim functional "
+                             "(default: the tiny test network)")
+    verify.add_argument("--backend", choices=CYCLE_BACKENDS + ("both",), default=None,
+                        help="simulator backend (default: cross-check both; "
+                             "functional verification of zoo networks defaults "
+                             "to the vectorized fast path)")
 
     return parser
 

@@ -15,6 +15,7 @@ from repro.cnn.reference import (
     conv2d_im2col,
     conv2d_single_channel,
     pad_input,
+    strided_windows,
 )
 from repro.cnn.tensor import FeatureMap
 from repro.cnn.zoo import (
@@ -45,6 +46,7 @@ __all__ = [
     "conv2d_im2col",
     "conv2d_single_channel",
     "pad_input",
+    "strided_windows",
     "NETWORKS",
     "alexnet",
     "vgg16",

@@ -10,6 +10,7 @@ support stride, zero padding and channel groups.
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.cnn.layer import ConvLayer
 from repro.errors import WorkloadError
@@ -20,6 +21,21 @@ def pad_input(ifmaps: np.ndarray, padding: int) -> np.ndarray:
     if padding == 0:
         return ifmaps
     return np.pad(ifmaps, ((0, 0), (padding, padding), (padding, padding)), mode="constant")
+
+
+def strided_windows(array: np.ndarray, kernel_size: int, stride: int,
+                    out_height: int, out_width: int) -> np.ndarray:
+    """Zero-copy ``(..., out_h, out_w, K, K)`` view of the stride-grid windows.
+
+    ``array``'s last two axes are the (padded) spatial dimensions; grid
+    position ``(r, c)`` holds the window whose top-left pixel is
+    ``(r * stride, c * stride)``.  This is the window selection every
+    consumer shares — im2col, the single-channel reference, the vectorized
+    functional backend and pooling.
+    """
+    windows = sliding_window_view(array, (kernel_size, kernel_size), axis=(-2, -1))
+    windows = windows[..., ::stride, ::stride, :, :]
+    return windows[..., :out_height, :out_width, :, :]
 
 
 def _check_shapes(layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray) -> None:
@@ -98,21 +114,14 @@ def im2col(layer: ConvLayer, padded: np.ndarray, group: int) -> np.ndarray:
     stride = layer.stride
     in_per_group = layer.in_channels_per_group
     in_lo = group * in_per_group
-    patches = np.empty(
-        (in_per_group * kernel * kernel, layer.out_height * layer.out_width),
-        dtype=np.float64,
+    padded = np.asarray(padded, dtype=np.float64)
+    # (C/g, E, E_w, K, K) zero-copy window view on the output stride grid
+    windows = strided_windows(padded[in_lo:in_lo + in_per_group], kernel, stride,
+                              layer.out_height, layer.out_width)
+    # rows in (channel, i, j) order, columns in row-major output order
+    return windows.transpose(0, 3, 4, 1, 2).reshape(
+        in_per_group * kernel * kernel, layer.out_height * layer.out_width
     )
-    column = 0
-    for row in range(layer.out_height):
-        for col in range(layer.out_width):
-            window = padded[
-                in_lo:in_lo + in_per_group,
-                row * stride:row * stride + kernel,
-                col * stride:col * stride + kernel,
-            ]
-            patches[:, column] = window.reshape(-1)
-            column += 1
-    return patches
 
 
 def conv2d_im2col(layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
@@ -154,9 +163,7 @@ def conv2d_single_channel(ifmap: np.ndarray, kernel: np.ndarray, stride: int = 1
     out_w = (ifmap.shape[1] - size) // stride + 1
     if out_h <= 0 or out_w <= 0:
         raise WorkloadError("kernel larger than (padded) input")
-    out = np.zeros((out_h, out_w), dtype=np.float64)
-    for row in range(out_h):
-        for col in range(out_w):
-            window = ifmap[row * stride:row * stride + size, col * stride:col * stride + size]
-            out[row, col] = float(np.sum(window * kernel))
-    return out
+    product = strided_windows(ifmap, size, stride, out_h, out_w) * kernel
+    # merging the kernel axes keeps NumPy's pairwise reduction order identical
+    # to the per-window np.sum of the original loop (bit-identical outputs)
+    return np.sum(product.reshape(out_h, out_w, size * size), axis=-1)

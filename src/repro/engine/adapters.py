@@ -7,7 +7,8 @@
   path design-space sweeps dispatch to;
 * :class:`CycleEngine` — the cycle-accurate simulator (vectorized fast path
   or register-accurate scalar cross-check) on synthetic seeded tensors;
-* :class:`FunctionalEngine` — the dataflow-level simulator;
+* :class:`FunctionalEngine` — the dataflow-level simulator (scalar window
+  walk, bit-identical vectorized fast path, or cross-checking ``both`` mode);
 * :class:`BaselineEngine` — any :class:`~repro.baselines.base.AcceleratorModel`
   (Chain-NN itself, the memory-centric DaDianNao-like and the 2D spatial
   Eyeriss-like baselines of Table V).
@@ -272,11 +273,18 @@ class CycleEngine(Engine):
 
 
 class FunctionalEngine(Engine):
-    """Dataflow-level simulation (window enumeration) of every conv layer."""
+    """Dataflow-level simulation (window enumeration) of every conv layer.
 
-    def __init__(self, seed: int = 2017) -> None:
+    ``backend`` selects the scalar per-window walk (the historical default,
+    registered as ``functional``), the bit-identical vectorized fast path
+    (``functional-vectorized``) or the cross-checking ``both`` mode mirroring
+    the cycle simulator.
+    """
+
+    def __init__(self, seed: int = 2017, backend: str = "scalar") -> None:
         self.seed = seed
-        self.name = "functional"
+        self.backend = backend
+        self.name = "functional" if backend == "scalar" else f"functional-{backend}"
         self._memo: Dict[str, Dict[str, Any]] = {}
 
     def _simulate(self, network: Network, config: ChainConfig) -> Dict[str, Any]:
@@ -286,7 +294,7 @@ class FunctionalEngine(Engine):
         })
         if memo_key in self._memo:
             return self._memo[memo_key]
-        simulator = FunctionalChainSimulator(config)
+        simulator = FunctionalChainSimulator(config, backend=self.backend)
         generator = WorkloadGenerator(seed=self.seed)
         layers: Dict[str, Dict[str, float]] = {}
         chain_cycles = 0.0
@@ -338,7 +346,7 @@ class FunctionalEngine(Engine):
         )
 
     def fingerprint(self) -> Dict[str, Any]:
-        return {"name": self.name, "seed": self.seed}
+        return {"name": self.name, "seed": self.seed, "backend": self.backend}
 
 
 class BaselineEngine(Engine):
@@ -445,6 +453,11 @@ def _make_functional(**kwargs) -> FunctionalEngine:
     return FunctionalEngine(**kwargs)
 
 
+def _make_functional_vectorized(**kwargs) -> FunctionalEngine:
+    kwargs.setdefault("backend", "vectorized")
+    return FunctionalEngine(**kwargs)
+
+
 def _make_baseline_chain_nn(calibrate_power_to: Optional[Network] = None,
                             **kwargs) -> BaselineEngine:
     model = ChainNNModel(calibrate_power_to=calibrate_power_to)
@@ -470,6 +483,7 @@ DEFAULT_ENGINES = {
     "cycle": _make_cycle,
     "cycle-scalar": _make_cycle_scalar,
     "functional": _make_functional,
+    "functional-vectorized": _make_functional_vectorized,
     "baseline-chain-nn": _make_baseline_chain_nn,
     "baseline-eyeriss": _make_baseline_eyeriss,
     "baseline-dadiannao": _make_baseline_dadiannao,

@@ -2,9 +2,22 @@
 
 from repro.sim.cycle import CycleAccurateChainSimulator, CycleSimResult, CycleSimStats
 from repro.sim.functional import (
+    FUNCTIONAL_BACKENDS,
     FunctionalChainSimulator,
     FunctionalRunResult,
     FunctionalRunStats,
+)
+from repro.sim.functional_vectorized import (
+    PairWindowStats,
+    pair_window_stats,
+    stride_keep_mask,
+    vectorized_layer_ofmaps,
+)
+from repro.sim.network import (
+    FunctionalNetworkRunner,
+    NetworkRunResult,
+    StageReport,
+    pool2d,
 )
 from repro.sim.trace import TraceEvent, TraceLog
 
@@ -12,9 +25,18 @@ __all__ = [
     "CycleAccurateChainSimulator",
     "CycleSimResult",
     "CycleSimStats",
+    "FUNCTIONAL_BACKENDS",
     "FunctionalChainSimulator",
+    "FunctionalNetworkRunner",
     "FunctionalRunResult",
     "FunctionalRunStats",
+    "NetworkRunResult",
+    "PairWindowStats",
+    "StageReport",
     "TraceEvent",
     "TraceLog",
+    "pair_window_stats",
+    "pool2d",
+    "stride_keep_mask",
+    "vectorized_layer_ofmaps",
 ]

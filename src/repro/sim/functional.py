@@ -8,6 +8,15 @@ into the right output pixels?"* for layers of any size in reasonable time,
 and provides the golden intermediate results the cycle-accurate simulator is
 checked against.
 
+Two backends share one result contract (mirroring the cycle simulator):
+
+* ``scalar`` — the per-window Python walk over every channel pair;
+* ``vectorized`` — :mod:`repro.sim.functional_vectorized`, the same
+  decomposition as whole-array NumPy operations with closed-form counters,
+  bit-identical ofmaps and identical :class:`FunctionalRunStats`;
+* ``both`` — run both and raise :class:`~repro.errors.SimulationError` on
+  any divergence (the cross-check mode ``repro verify`` uses).
+
 Strided layers use the stream-everything-discard policy discussed in
 DESIGN.md: the scan runs at stride-1 cadence over the padded input and
 windows that do not fall on the stride grid are dropped.
@@ -23,9 +32,13 @@ import numpy as np
 from repro.cnn.layer import ConvLayer
 from repro.cnn.reference import conv2d_im2col, pad_input
 from repro.core.config import ChainConfig
-from repro.core.mapper import LayerMapper
+from repro.core.mapper import LayerMapper, LayerMapping
 from repro.core.scan import ColumnScanSchedule
-from repro.errors import SimulationError, WorkloadError
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.sim.functional_vectorized import pair_window_stats, vectorized_layer_ofmaps
+
+#: selectable simulation backends (``"both"`` additionally cross-checks them)
+FUNCTIONAL_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass
@@ -71,8 +84,15 @@ class FunctionalRunResult:
 class FunctionalChainSimulator:
     """Dataflow-level simulator of the Chain-NN execution of a conv layer."""
 
-    def __init__(self, config: Optional[ChainConfig] = None) -> None:
+    def __init__(self, config: Optional[ChainConfig] = None,
+                 backend: str = "scalar") -> None:
+        if backend not in FUNCTIONAL_BACKENDS + ("both",):
+            raise ConfigurationError(
+                f"unknown functional backend {backend!r}; "
+                f"available: {', '.join(FUNCTIONAL_BACKENDS + ('both',))}"
+            )
         self.config = config or ChainConfig()
+        self.backend = backend
         self.mapper = LayerMapper(self.config)
 
     # ------------------------------------------------------------------ #
@@ -146,28 +166,66 @@ class FunctionalChainSimulator:
 
         mapping = self.mapper.map_layer(layer)
         padded = pad_input(ifmaps, layer.padding)
-        ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
-        stats = FunctionalRunStats()
 
-        in_per_group = layer.in_channels_per_group
-        out_per_group = layer.out_channels_per_group
-        for group in range(layer.groups):
-            for m_local in range(out_per_group):
-                m = group * out_per_group + m_local
-                for c_local in range(in_per_group):
-                    c = group * in_per_group + c_local
-                    self._process_pair(
-                        layer,
-                        padded[c],
-                        weights[m, c_local],
-                        ofmaps[m],
-                        stats,
-                    )
+        if self.backend == "both":
+            scalar = self._run_backend("scalar", layer, padded, weights, mapping)
+            result = self._run_backend("vectorized", layer, padded, weights, mapping)
+            if not np.array_equal(scalar.ofmaps, result.ofmaps):
+                raise SimulationError(
+                    f"{layer.name}: vectorized functional backend diverges from "
+                    f"the scalar path (max abs difference "
+                    f"{float(np.max(np.abs(scalar.ofmaps - result.ofmaps))):.3e})"
+                )
+            if scalar.stats != result.stats:
+                raise SimulationError(
+                    f"{layer.name}: vectorized functional counters diverge from "
+                    f"the scalar path ({result.stats} != {scalar.stats})"
+                )
+            return result
+        return self._run_backend(self.backend, layer, padded, weights, mapping)
+
+    def _run_backend(self, backend: str, layer: ConvLayer, padded: np.ndarray,
+                     weights: np.ndarray, mapping: LayerMapping) -> FunctionalRunResult:
+        """One backend's simulation of an already-validated layer."""
+        if backend == "vectorized":
+            ofmaps = vectorized_layer_ofmaps(layer, padded, weights)
+            per_pair = pair_window_stats(layer)
+            pairs = layer.channel_pairs()
+            stats = FunctionalRunStats(
+                windows_evaluated=per_pair.windows_evaluated * pairs,
+                windows_kept=per_pair.windows_kept * pairs,
+                stripes_processed=per_pair.stripes * pairs,
+                pairs_processed=pairs,
+                pixels_streamed=per_pair.pixels_streamed * pairs,
+                primitive_cycles=per_pair.primitive_cycles * pairs,
+            )
+        else:
+            ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
+            stats = FunctionalRunStats()
+            in_per_group = layer.in_channels_per_group
+            out_per_group = layer.out_channels_per_group
+            for group in range(layer.groups):
+                for m_local in range(out_per_group):
+                    m = group * out_per_group + m_local
+                    for c_local in range(in_per_group):
+                        c = group * in_per_group + c_local
+                        self._process_pair(
+                            layer,
+                            padded[c],
+                            weights[m, c_local],
+                            ofmaps[m],
+                            stats,
+                        )
 
         if stats.pairs_processed != mapping.channel_pairs:
             raise SimulationError(
                 f"{layer.name}: processed {stats.pairs_processed} pairs, "
                 f"expected {mapping.channel_pairs}"
+            )
+        if mapping.active_primitives <= 0:
+            raise SimulationError(
+                f"{layer.name}: mapping reports {mapping.active_primitives} active "
+                "primitives; cannot derive a per-primitive chain-cycle estimate"
             )
         chain_cycles = stats.primitive_cycles / mapping.active_primitives
         return FunctionalRunResult(

@@ -69,6 +69,20 @@ class TestCommands:
         assert main(["verify"]) == 0
         assert "PASSED" in capsys.readouterr().out
 
+    def test_verify_functional_tiny_cross_checks_backends(self, capsys):
+        assert main(["verify", "--sim", "functional"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "[both]" in out
+
+    def test_verify_functional_network(self, capsys):
+        assert main(["verify", "--sim", "functional", "--network", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "[vectorized]" in out and "pool1" in out
+
+    def test_verify_cycle_rejects_network_flag(self, capsys):
+        assert main(["verify", "--network", "lenet5"]) == 2
+        assert "--sim functional" in capsys.readouterr().err
+
 
 class TestEngineCommands:
     def test_engines_lists_registry(self, capsys):

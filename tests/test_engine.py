@@ -40,8 +40,8 @@ class TestRegistry:
     def test_default_engines_registered(self):
         names = available_engines()
         for expected in ("analytical", "analytical-detailed", "cycle", "cycle-scalar",
-                         "functional", "baseline-chain-nn", "baseline-eyeriss",
-                         "baseline-dadiannao"):
+                         "functional", "functional-vectorized", "baseline-chain-nn",
+                         "baseline-eyeriss", "baseline-dadiannao"):
             assert expected in names
 
     def test_create_engine_returns_engine(self):
@@ -105,6 +105,19 @@ class TestAdapters:
         record = create_engine("functional").evaluate(tiny_network, None, 1)
         assert record.metric("max_abs_error") == pytest.approx(0.0, abs=1e-9)
         assert record.metric("windows_kept") > 0
+
+    def test_functional_backends_agree(self, tiny_network):
+        scalar = create_engine("functional").evaluate(tiny_network, None, 1)
+        fast = create_engine("functional-vectorized").evaluate(tiny_network, None, 1)
+        assert fast.engine == "functional-vectorized"
+        assert fast.metrics == scalar.metrics
+
+    def test_functional_backend_enters_fingerprint(self):
+        scalar = create_engine("functional")
+        fast = create_engine("functional-vectorized")
+        assert scalar.fingerprint()["backend"] == "scalar"
+        assert fast.fingerprint()["backend"] == "vectorized"
+        assert scalar.fingerprint() != fast.fingerprint()
 
     def test_baseline_round_trips_summary(self, network):
         record = create_engine("baseline-eyeriss").evaluate(network, None, 4)

@@ -15,9 +15,10 @@ from repro.errors import WorkloadError
 from repro.sim.functional import FunctionalChainSimulator
 
 
-@pytest.fixture(scope="module")
-def simulator():
-    return FunctionalChainSimulator(ChainConfig())
+@pytest.fixture(scope="module", params=["scalar", "vectorized"])
+def simulator(request):
+    """Both backends share one result contract; every test runs on each."""
+    return FunctionalChainSimulator(ChainConfig(), backend=request.param)
 
 
 def _tensors(layer, seed=0):
