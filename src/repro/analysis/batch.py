@@ -39,7 +39,7 @@ from repro.analysis.pareto import objective_matrix, pareto_mask, top_k_indices
 from repro.cnn.network import Network
 from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.dataflow import DataflowPlanner
-from repro.core.performance import Mode, pair_cycles_for
+from repro.core.performance import Mode, pair_cycles_for, per_stripe_cycles_paper
 from repro.energy.area import AreaModel
 from repro.energy.components import EnergyParams, GateCountParams
 from repro.energy.power import chain_power_w, memory_power_w
@@ -490,6 +490,20 @@ class BatchDesignEvaluator:
         constants.tiles_by_bits[bits] = (tile.th, tile.stripe_rows, stripes)
         return constants.tiles_by_bits[bits]
 
+    def mapping_evaluator(self, layer_index: int, batch: int) -> "MappingBatchEvaluator":
+        """Columnar *mapping-candidate* evaluator for one layer of the network.
+
+        The mapping-search subsystem (:mod:`repro.mapping`) scores its
+        candidates through this hook so the search shares the evaluator's
+        base configuration and unit energies.
+        """
+        return MappingBatchEvaluator(
+            self.network.conv_layers[layer_index],
+            config=self.base,
+            batch=batch,
+            energy=self.energy,
+        )
+
     # ------------------------------------------------------------------ #
     # grid evaluation
     # ------------------------------------------------------------------ #
@@ -575,6 +589,172 @@ class BatchDesignEvaluator:
             worst_case_utilization=worst_case_utilization_array(num_pes),
             total_gates=AreaModel.total_gates_for(num_pes, self.gates),
         )
+
+
+#: metric columns :class:`MappingBatchEvaluator` produces per candidate
+MAPPING_RESULT_COLUMNS = (
+    "passes",
+    "active_pes",
+    "kmemory_refills",
+    "stripes",
+    "conv_cycles_per_image",
+    "kernel_load_cycles",
+    "batch_cycles",
+    "first_image_cycles",
+    "time_per_batch_s",
+    "first_image_latency_s",
+    "fps",
+    "spill_dram_words",
+    "energy_per_batch_j",
+    "edp_js",
+)
+
+
+class MappingBatchEvaluator:
+    """Columnar evaluation of per-layer *mapping candidates*.
+
+    Where :class:`BatchDesignEvaluator` sweeps hardware design points at the
+    paper's fixed Table II mapping, this evaluator holds the hardware fixed
+    and sweeps the *mapping* of one layer: arrays of (primitive count, stripe
+    height, kernel-streaming chunk, batch-interleave policy) evaluate to
+    arrays of cycle/energy metrics in one pass of NumPy arithmetic, which is
+    what lets the search strategies of :mod:`repro.mapping` score 10^4+
+    candidates per layer in milliseconds.
+
+    The cost model is the *integral-pass* form of the analytical model
+    (honest ``ceil`` accounting instead of the paper's fractional stripes and
+    passes — the same closed forms otherwise), extended with the two effects
+    a mapping choice actually controls:
+
+    * **Kernel residency.**  ``chunk`` passes' worth of weights are kMemory-
+      resident at a time (``refills = ceil(passes / chunk)``).  With the
+      batch-interleaved schedule (chunk-major over the batch) kernels load
+      once per batch but partial ofmaps of every image must survive each
+      chunk boundary, spilling ``2 * ofmap_words * (refills - 1)`` words per
+      image to DRAM; with the image-major schedule no partials spill but
+      every image reloads all ``weight_count`` kernels.  The two policies
+      coincide when the weights fit (``refills == 1``).
+    * **First-image latency.**  Image-major schedules finish the first image
+      after one image's convolutions; batch-interleaved schedules finish it
+      only ``(refills - 1) / refills`` of the way into the batch.
+
+    Energy follows the :class:`~repro.energy.power.PowerModel` philosophy
+    (busy-PE cycles x unit energies, with the static fraction on the chain
+    term); DRAM spill/reload traffic is charged at ``dram_byte_j``.
+    """
+
+    def __init__(self, layer, config: Optional[ChainConfig] = None,
+                 batch: int = 1, energy: Optional[EnergyParams] = None) -> None:
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.layer = layer
+        self.config = config or ChainConfig()
+        self.batch = int(batch)
+        self.energy = energy or EnergyParams()
+        k = layer.kernel_size
+        self.kernel_area = k * k
+        if self.kernel_area > self.config.num_pes:
+            raise ConfigurationError(
+                f"{layer.name}: kernel {k}x{k} needs {self.kernel_area} PEs "
+                f"but the chain has only {self.config.num_pes}"
+            )
+        self.max_primitives = self.config.num_pes // self.kernel_area
+        self.channel_pairs = layer.channel_pairs()
+        self.per_stripe_cycles = per_stripe_cycles_paper(layer)
+        self.ofmap_words = layer.out_height * layer.out_width * layer.out_channels
+
+    def evaluate(
+        self,
+        primitives: np.ndarray,
+        stripe_height: np.ndarray,
+        chunk: np.ndarray,
+        interleave_image: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        """Score candidate columns; returns :data:`MAPPING_RESULT_COLUMNS`.
+
+        All four inputs are equally-long 1D arrays (``interleave_image`` is
+        boolean: True for the image-major schedule).  Legality is assumed to
+        have been established by the map-space (use
+        :meth:`repro.core.mapper.LayerMapper.map_layer_with` /
+        :class:`repro.mapping.LayerMapSpace` to validate candidates).
+        """
+        layer = self.layer
+        energy = self.energy
+        batch = self.batch
+        p = np.asarray(primitives, dtype=np.int64)
+        h = np.asarray(stripe_height, dtype=np.int64)
+        c = np.asarray(chunk, dtype=np.int64)
+        image_major = np.asarray(interleave_image, dtype=bool)
+
+        passes = -(-self.channel_pairs // p)
+        active_pes = p * self.kernel_area
+        stripes = -(-layer.out_height // h)
+        conv_img = stripes * self.per_stripe_cycles * passes
+        chunk_eff = np.minimum(c, passes)
+        refills = -(-passes // chunk_eff)
+
+        weight_count = layer.weight_count
+        reloads = image_major & (refills > 1)
+        load_cycles = np.where(reloads, weight_count * batch, weight_count)
+        batch_cycles = conv_img * batch + load_cycles
+
+        # first-image completion: image-major finishes after one image's
+        # convolutions; chunk-major-over-batch finishes (refills-1)/refills
+        # of the way into the batch (kernels always fully loaded by then)
+        batch_major_first = conv_img * ((refills - 1) * batch + 1) / refills
+        first_cycles = weight_count + np.where(image_major, conv_img,
+                                               batch_major_first)
+
+        spills = (~image_major) & (refills > 1)
+        spill_words = np.where(spills,
+                               2 * self.ofmap_words * (refills - 1) * batch, 0)
+
+        frequency = self.config.frequency_hz
+        time_batch_s = batch_cycles / frequency
+        first_s = first_cycles / frequency
+        fps = batch / time_batch_s
+
+        # ---- energy (joules per batch) ------------------------------- #
+        chain_j = (energy.pe_cycle_j * (1.0 + energy.static_fraction)
+                   * active_pes * conv_img * batch)
+        # kMemory: one weight read per MAC slot per stripe revisit, plus the
+        # write traffic of the (re)loads
+        if layer.stride == 1:
+            kmem_repeats = stripes
+        else:
+            kmem_repeats = np.full_like(stripes, layer.out_height)
+        kmem_words = (self.kernel_area * self.channel_pairs * kmem_repeats * batch
+                      + load_cycles)
+        kmem_j = energy.kmemory_access_j * kmem_words
+        # iMemory: every pass streams its stripe bands (overlap rows re-read)
+        stripe_rows = (h - 1) * layer.stride + layer.kernel_size
+        imem_words = (stripes * stripe_rows * layer.padded_width
+                      * self.channel_pairs * batch)
+        imem_j = energy.imemory_access_j * imem_words
+        # oMemory: read-modify-write of the partial sum per kept window
+        omem_words = 2 * self.ofmap_words * layer.in_channels_per_group * batch
+        omem_j = energy.omemory_access_j * np.full(p.shape, float(omem_words))
+        # DRAM: weight (re)loads plus partial-sum spills
+        dram_words = load_cycles + spill_words
+        dram_j = energy.dram_byte_j * dram_words * self.config.word_bytes
+
+        energy_j = chain_j + kmem_j + imem_j + omem_j + dram_j
+        return {
+            "passes": passes,
+            "active_pes": active_pes,
+            "kmemory_refills": refills,
+            "stripes": stripes,
+            "conv_cycles_per_image": conv_img.astype(np.float64),
+            "kernel_load_cycles": load_cycles.astype(np.float64),
+            "batch_cycles": batch_cycles.astype(np.float64),
+            "first_image_cycles": np.asarray(first_cycles, dtype=np.float64),
+            "time_per_batch_s": time_batch_s,
+            "first_image_latency_s": first_s,
+            "fps": fps,
+            "spill_dram_words": spill_words.astype(np.float64),
+            "energy_per_batch_j": energy_j,
+            "edp_js": energy_j * time_batch_s,
+        }
 
 
 def worst_case_utilization_array(

@@ -20,7 +20,15 @@ writing any Python:
 * ``verify``      — cross-check the cycle-accurate simulator's backends on
   small layers (``--sim cycle``), or run whole-network functional dataflow
   verification (``--sim functional [--network alexnet]``) through the
-  vectorized window-enumeration backend.
+  vectorized window-enumeration backend;
+* ``map``         — search the per-layer mapping space (primitive partition,
+  stripe height, kernel chunking, batch interleave) for a latency /
+  throughput / EDP / energy objective with ``--strategy
+  {exhaustive,random,greedy,anneal}``, report searched-vs-baseline
+  schedules and optionally ``--verify`` every searched mapping against the
+  im2col golden reference;
+* ``networks``    — list the network zoo with per-network layer counts,
+  MACs and parameter totals.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
 instantiations can be explored from the shell.  All evaluation dispatches
@@ -41,12 +49,14 @@ from repro.analysis.batch import DEFAULT_OBJECTIVES, HIGHER_IS_BETTER
 from repro.analysis.report import render_bar_chart, render_dict_table, render_table
 from repro.analysis.sweep import DesignSpaceExplorer
 from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.layer import FullyConnectedLayer
 from repro.cnn.zoo import NETWORKS, get_network, tiny_test_network
 from repro.core.accelerator import ChainNN
 from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.utilization import utilization_table
 from repro.engine import CACHE_DIR_ENV, RunCache, available_engines, create_engine
 from repro.hwmodel.clock import ClockDomain
+from repro.mapping import OBJECTIVES, STRATEGIES, ScheduleOptimizer, make_strategy
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
 from repro.sim.network import FunctionalNetworkRunner
@@ -130,7 +140,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
-    if args.engine.startswith("analytical"):
+    # the mapped engine reports search metrics, not the per-layer analytical
+    # summary; it renders through the generic engine table below
+    if args.engine.startswith("analytical") and args.engine != "analytical-mapped":
         summary_keys = ("batch", "fps", "conv_time_per_batch_ms", "kernel_load_time_ms",
                         "achieved_gops", "total_power_w", "gops_per_watt")
         summary = {key: record.metrics[key] for key in summary_keys}
@@ -375,6 +387,108 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_networks(args: argparse.Namespace) -> int:
+    """List the network zoo with layer counts, MACs and parameter totals."""
+    entries = {}
+    for name in sorted(NETWORKS):
+        network = get_network(name)
+        fc_params = sum(layer.in_features * layer.out_features
+                        for layer in network.layers
+                        if isinstance(layer, FullyConnectedLayer))
+        conv_layers = network.conv_layers
+        entries[name] = {
+            "network": network.name,
+            "layers": len(network.layers),
+            "conv_layers": len(conv_layers),
+            "conv_macs_per_image": network.total_conv_macs,
+            "conv_weights": network.total_conv_weights,
+            "fc_weights": fc_params,
+            "total_weights": network.total_conv_weights + fc_params,
+            "max_kernel": max((layer.kernel_size for layer in conv_layers),
+                              default=0),
+        }
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    rows = {
+        name: {
+            "layers": entry["layers"],
+            "conv": entry["conv_layers"],
+            "MACs/image (M)": entry["conv_macs_per_image"] / 1e6,
+            "conv params (M)": entry["conv_weights"] / 1e6,
+            "total params (M)": entry["total_weights"] / 1e6,
+            "max K": entry["max_kernel"],
+        }
+        for name, entry in entries.items()
+    }
+    print(render_dict_table(rows, title="network zoo", row_label="network"))
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    """Search the mapping space and report the optimised schedule."""
+    # knobs that don't apply to the chosen strategy are errors, not no-ops
+    if args.samples is not None and args.strategy != "random":
+        print(f"error: --samples applies to --strategy random only, "
+              f"not {args.strategy}", file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.strategy != "anneal":
+        print(f"error: --iterations applies to --strategy anneal only, "
+              f"not {args.strategy}", file=sys.stderr)
+        return 2
+    strategy_kwargs = {}
+    if args.strategy in ("random", "anneal"):
+        strategy_kwargs["seed"] = args.seed
+    if args.samples is not None:
+        strategy_kwargs["samples"] = args.samples
+    if args.iterations is not None:
+        strategy_kwargs["iterations"] = args.iterations
+    optimizer = ScheduleOptimizer(
+        config=_config_from_args(args),
+        objective=args.objective,
+        strategy=make_strategy(args.strategy, **strategy_kwargs),
+        batch=args.batch,
+        cache=_cache_from_args(args),
+    )
+    network = get_network(args.network)
+    schedule = optimizer.optimize(network)
+    verification = (optimizer.verify(network, schedule, seed=args.seed)
+                    if args.verify else None)
+
+    if args.json:
+        payload = schedule.to_json_dict()
+        if verification is not None:
+            payload["verification"] = {
+                "passed": verification.passed,
+                "max_abs_error": verification.max_abs_error,
+                "tolerance": verification.tolerance,
+                "layers": [
+                    {
+                        "layer": entry.layer_name,
+                        "max_abs_error": entry.max_abs_error,
+                        "bit_identical": entry.bit_identical,
+                        "covers": list(entry.covers),
+                    }
+                    for entry in verification.layers
+                ],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if verification is None or verification.passed else 1
+
+    print(schedule.describe())
+    searched_fps = schedule.frames_per_second()
+    base_time = sum(s.metrics["time_per_batch_s"] for s in schedule.baseline)
+    print(f"  fps: searched {searched_fps:.1f} vs baseline "
+          f"{schedule.batch / base_time:.1f}; first image "
+          f"{schedule.first_image_latency_s() * 1e3:.2f} ms, "
+          f"energy/batch {schedule.total_energy_per_batch_j() * 1e3:.1f} mJ")
+    if verification is not None:
+        print()
+        print(verification.describe())
+        return 0 if verification.passed else 1
+    return 0
+
+
 def _verify_functional(args: argparse.Namespace) -> int:
     """Whole-network dataflow verification through the functional simulator.
 
@@ -490,6 +604,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: "
                             f"${CACHE_DIR_ENV} or ~/.cache/repro-chain-nn)")
 
+    networks = sub.add_parser("networks",
+                              help="list the network zoo (layer counts, MACs, "
+                                   "parameter totals)")
+    networks.add_argument("--json", action="store_true",
+                          help="emit the zoo statistics as JSON")
+
+    map_cmd = sub.add_parser(
+        "map",
+        help="search the per-layer mapping space for an objective and report "
+             "the optimised schedule vs the paper's Table II mapping",
+    )
+    map_cmd.add_argument("--network", default="alexnet", choices=sorted(NETWORKS))
+    map_cmd.add_argument("--objective", default="throughput",
+                         choices=tuple(OBJECTIVES),
+                         help="objective the schedule is optimised for")
+    map_cmd.add_argument("--strategy", default="anneal", choices=STRATEGIES,
+                         help="search strategy (exhaustive scans the pruned "
+                              "space; anneal/random/greedy sample it)")
+    map_cmd.add_argument("--batch", type=_positive_int, default=16,
+                         help="batch size the schedule is optimised for")
+    map_cmd.add_argument("--seed", type=int, default=2017,
+                         help="seed for the stochastic strategies and the "
+                              "verification tensors")
+    map_cmd.add_argument("--samples", type=_positive_int, default=None,
+                         help="candidates sampled by --strategy random")
+    map_cmd.add_argument("--iterations", type=_positive_int, default=None,
+                         help="steps of --strategy anneal")
+    map_cmd.add_argument("--verify", action="store_true",
+                         help="functionally verify every searched mapping "
+                              "against the im2col golden reference")
+    map_cmd.add_argument("--json", action="store_true",
+                         help="emit the optimised schedule as JSON")
+    map_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="memoise searches in this directory "
+                              f"(${CACHE_DIR_ENV} enables the default location)")
+    map_cmd.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk search cache even when "
+                              f"${CACHE_DIR_ENV} is set")
+
     verify = sub.add_parser(
         "verify",
         help="simulator verification: cycle-accurate cross-check on small "
@@ -522,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pareto": cmd_pareto,
         "cache": cmd_cache,
         "verify": cmd_verify,
+        "map": cmd_map,
+        "networks": cmd_networks,
     }
     return handlers[args.command](args)
 

@@ -29,7 +29,13 @@ from repro.errors import MappingError
 
 @dataclass(frozen=True)
 class LayerMapping:
-    """How one convolutional layer is executed on the chain."""
+    """How one convolutional layer is executed on the chain.
+
+    ``stripe_height`` and ``kernel_chunk`` record the mapping-space choices
+    behind the stripe plan and the kMemory streaming granularity; the default
+    (Table II) mapping uses ``stripe_height == K`` and the largest chunk the
+    per-PE kMemory holds.
+    """
 
     layer: ConvLayer
     config: ChainConfig
@@ -39,6 +45,8 @@ class LayerMapping:
     weights_per_pe: int
     kmemory_refills: int
     stripes_per_pair: List[int]
+    stripe_height: int = 0
+    kernel_chunk: int = 0
 
     # ------------------------------------------------------------------ #
     # derived quantities
@@ -88,7 +96,30 @@ class LayerMapper:
         self.chain = PEChain(self.config)
 
     def map_layer(self, layer: ConvLayer) -> LayerMapping:
-        """Map ``layer`` onto the chain or raise :class:`MappingError`."""
+        """Map ``layer`` onto the chain or raise :class:`MappingError`.
+
+        This is the paper's fixed Table II decomposition: every primitive the
+        chain can hold, full (``K``-row) stripes, and kernels streamed in the
+        largest chunks the per-PE kMemory fits.
+        """
+        return self.map_layer_with(layer)
+
+    def map_layer_with(
+        self,
+        layer: ConvLayer,
+        primitives: int | None = None,
+        stripe_height: int | None = None,
+        kernel_chunk: int | None = None,
+    ) -> LayerMapping:
+        """Map ``layer`` with explicit mapping-space choices.
+
+        ``primitives`` (how many of the chain's ``floor(P/K^2)`` primitive
+        slots are used), ``stripe_height`` (ofmap rows per stripe, at most
+        ``K``) and ``kernel_chunk`` (kMemory-resident passes per refill, at
+        most the per-PE capacity) each default to the Table II mapping; any
+        out-of-range choice raises :class:`MappingError` — these are the
+        legality checks the mapping-search subsystem relies on.
+        """
         kernel_area = layer.kernel_size * layer.kernel_size
         if kernel_area > self.config.num_pes:
             raise MappingError(
@@ -96,12 +127,39 @@ class LayerMapper:
                 f"{kernel_area} PEs but the chain has only {self.config.num_pes}"
             )
         partition = self.chain.partition(layer.kernel_size)
+        max_primitives = partition.num_primitives
+        if primitives is not None:
+            if not (1 <= primitives <= max_primitives):
+                raise MappingError(
+                    f"{layer.name}: primitives must be in [1, {max_primitives}] "
+                    f"for K={layer.kernel_size} on {self.config.num_pes} PEs, "
+                    f"got {primitives}"
+                )
+            if primitives < max_primitives:
+                partition = ChainPartition(
+                    kernel_size=layer.kernel_size,
+                    total_pes=self.config.num_pes,
+                    slots=partition.slots[:primitives],
+                )
+        if stripe_height is not None and not (1 <= stripe_height <= layer.kernel_size):
+            raise MappingError(
+                f"{layer.name}: stripe_height must be in [1, {layer.kernel_size}], "
+                f"got {stripe_height}"
+            )
+        height = stripe_height or layer.kernel_size
         channel_pairs = layer.channel_pairs()
         passes = math.ceil(channel_pairs / partition.num_primitives)
         # each pass pins one K x K kernel plane per primitive, i.e. one weight
         # per PE; a PE therefore needs `passes` kMemory entries for the layer.
         weights_per_pe = passes
-        refills = max(1, math.ceil(weights_per_pe / self.config.kmemory_words_per_pe))
+        capacity = self.config.kmemory_words_per_pe
+        if kernel_chunk is not None and not (1 <= kernel_chunk <= capacity):
+            raise MappingError(
+                f"{layer.name}: kernel_chunk must be in [1, {capacity}] "
+                f"(per-PE kMemory words), got {kernel_chunk}"
+            )
+        chunk = min(kernel_chunk or capacity, weights_per_pe)
+        refills = max(1, math.ceil(weights_per_pe / chunk))
         return LayerMapping(
             layer=layer,
             config=self.config,
@@ -110,7 +168,9 @@ class LayerMapper:
             passes=passes,
             weights_per_pe=weights_per_pe,
             kmemory_refills=refills,
-            stripes_per_pair=stripe_plan(layer.out_height, layer.kernel_size),
+            stripes_per_pair=stripe_plan(layer.out_height, layer.kernel_size, height),
+            stripe_height=height,
+            kernel_chunk=chunk,
         )
 
     def map_network(self, layers: List[ConvLayer]) -> List[LayerMapping]:

@@ -46,19 +46,29 @@ Mode = Literal["paper", "detailed"]
 # per-pair closed forms (module level so the columnar batch evaluator of
 # :mod:`repro.analysis.batch` evaluates the *same* arithmetic per layer)
 # --------------------------------------------------------------------- #
-def pair_cycles_paper(layer: ConvLayer) -> float:
-    """Idealised (Fig. 9) cycles for one primitive to process one channel pair."""
+def per_stripe_cycles_paper(layer: ConvLayer) -> float:
+    """Idealised cycles to stream one stripe of one channel pair.
+
+    ``K * E_w`` column-scan cycles per stripe, scaled by the stride (strided
+    layers are input-bound: every ifmap column passes through the chain),
+    plus a ``K^2 - 1`` fill that hides whenever striding already makes the
+    stripe input-bound (this is what the paper's conv1 time implies).  Shared
+    by :func:`pair_cycles_paper` and the mapping cost model of
+    :class:`repro.analysis.batch.MappingBatchEvaluator`, so the two stay in
+    lock-step.
+    """
     k = layer.kernel_size
     fill = k * k - 1
-    stripes = layer.out_height / k
     stream = k * layer.out_width * layer.stride
     if layer.stride == 1:
-        per_stripe = stream + fill
-    else:
-        # striding makes the stripe input-bound; the fill hides under the
-        # extra streaming cycles (this is what the paper's conv1 time implies)
-        per_stripe = max(stream, k * layer.out_width + fill)
-    return stripes * per_stripe
+        return stream + fill
+    return max(stream, k * layer.out_width + fill)
+
+
+def pair_cycles_paper(layer: ConvLayer) -> float:
+    """Idealised (Fig. 9) cycles for one primitive to process one channel pair."""
+    stripes = layer.out_height / layer.kernel_size
+    return stripes * per_stripe_cycles_paper(layer)
 
 
 def pair_cycles_detailed(layer: ConvLayer) -> int:

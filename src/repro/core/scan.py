@@ -237,18 +237,29 @@ class ColumnScanSchedule:
         return len(self.valid_windows()) / self.total_timestamps
 
 
-def stripe_plan(out_height: int, kernel_size: int) -> List[int]:
-    """Split ``out_height`` output rows into stripes of at most ``K`` rows each.
+def stripe_plan(out_height: int, kernel_size: int,
+                stripe_height: Optional[int] = None) -> List[int]:
+    """Split ``out_height`` output rows into stripes of at most ``stripe_height``.
 
-    Returns the list of output-row counts per stripe (all ``K`` except a
+    ``stripe_height`` defaults to ``K`` (the paper's full-stripe mapping: a
+    ``2K-1``-row input band computing ``K`` ofmap rows); the mapping-search
+    subsystem explores shorter stripes, which remain legal as long as
+    ``1 <= stripe_height <= K`` (the column-scan cadence fixes the input band
+    at ``stripe_height + K - 1 <= 2K - 1`` rows).  Returns the list of
+    output-row counts per stripe (all ``stripe_height`` except a
     possibly-shorter final stripe), e.g. ``stripe_plan(13, 3) == [3, 3, 3, 3, 1]``.
     """
     if out_height < 1:
         raise ConfigurationError(f"out_height must be >= 1, got {out_height}")
     if kernel_size < 1:
         raise ConfigurationError(f"kernel_size must be >= 1, got {kernel_size}")
-    full, remainder = divmod(out_height, kernel_size)
-    plan = [kernel_size] * full
+    height = kernel_size if stripe_height is None else stripe_height
+    if not (1 <= height <= kernel_size):
+        raise ConfigurationError(
+            f"stripe_height must be in [1, {kernel_size}], got {height}"
+        )
+    full, remainder = divmod(out_height, height)
+    plan = [height] * full
     if remainder:
         plan.append(remainder)
     return plan

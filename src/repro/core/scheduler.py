@@ -14,12 +14,15 @@ derived 1/fps figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.core.performance import PerformanceModel
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.mapping.optimizer import OptimizedSchedule
 
 
 @dataclass(frozen=True)
@@ -150,6 +153,57 @@ class BatchScheduler:
             network_name=network.name,
             batch=batch,
             frequency_hz=self.config.frequency_hz,
+            segments=segments,
+        )
+
+    def schedule_optimized(self, network: Network,
+                           optimized: "OptimizedSchedule") -> BatchSchedule:
+        """Timeline of a searched :class:`~repro.mapping.OptimizedSchedule`.
+
+        Per-layer cycle counts come from the mapping cost model instead of
+        the fixed Table II decomposition: the kernel-load segment carries the
+        schedule's (re)load cycles — ``batch x weight_count`` for image-major
+        layers whose kernels do not fit kMemory — and the convolution segment
+        carries the integral-pass batch cycles.  Image-major layers
+        interleave loads with convolutions in hardware; the timeline
+        aggregates each kind per layer, which preserves every makespan-
+        derived metric (fps, kernel-load fraction).
+        """
+        by_name = {entry.layer_name: entry for entry in optimized.layers}
+        missing = [layer.name for layer in network.conv_layers
+                   if layer.name not in by_name]
+        if missing:
+            raise ConfigurationError(
+                f"{network.name}: optimized schedule lacks layers {missing} "
+                f"(it was built for {optimized.network_name})"
+            )
+        segments: List[TimelineSegment] = []
+        cursor = 0.0
+        batch = optimized.batch
+        for layer in network.conv_layers:
+            metrics = by_name[layer.name].metrics
+            load_cycles = float(metrics["kernel_load_cycles"])
+            segments.append(TimelineSegment(
+                layer_name=layer.name,
+                kind="kernel_load",
+                start_cycle=cursor,
+                end_cycle=cursor + load_cycles,
+                images=0,
+            ))
+            cursor += load_cycles
+            conv_cycles = float(metrics["conv_cycles_per_image"]) * batch
+            segments.append(TimelineSegment(
+                layer_name=layer.name,
+                kind="convolution",
+                start_cycle=cursor,
+                end_cycle=cursor + conv_cycles,
+                images=batch,
+            ))
+            cursor += conv_cycles
+        return BatchSchedule(
+            network_name=network.name,
+            batch=batch,
+            frequency_hz=optimized.frequency_hz,
             segments=segments,
         )
 

@@ -18,6 +18,7 @@ from repro.engine.adapters import (
     BaselineEngine,
     CycleEngine,
     FunctionalEngine,
+    MappedAnalyticalEngine,
     summary_from_record,
     worst_case_utilization,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Engine",
     "FunctionalEngine",
     "GRID_CHUNK_POINTS",
+    "MappedAnalyticalEngine",
     "RunCache",
     "RunRecord",
     "SweepExecutor",

@@ -5,6 +5,9 @@
 * :class:`AnalyticalBatchEngine` — the same closed forms evaluated columnar
   (struct-of-arrays) over whole design grids: the ``evaluate_batch`` fast
   path design-space sweeps dispatch to;
+* :class:`MappedAnalyticalEngine` — mapping-searched analytical evaluation:
+  every run first optimises the per-layer mapping (:mod:`repro.mapping`)
+  for a configurable objective and reports searched-vs-baseline metrics;
 * :class:`CycleEngine` — the cycle-accurate simulator (vectorized fast path
   or register-accurate scalar cross-check) on synthetic seeded tensors;
 * :class:`FunctionalEngine` — the dataflow-level simulator (scalar window
@@ -168,6 +171,86 @@ class AnalyticalBatchEngine(Engine):
             "mode": self.mode,
             "default_config": dataclasses.asdict(self.default_config),
             "energy": dataclasses.asdict(self._scalar.chip.power_model.energy),
+        }
+
+
+class MappedAnalyticalEngine(Engine):
+    """Mapping-searched analytical evaluation (the ``analytical-mapped`` engine).
+
+    Every evaluation first optimises the per-layer mapping with the
+    configured objective and search strategy (:mod:`repro.mapping`), then
+    reports the searched schedule's metrics next to the Table II baseline's.
+    The full search configuration — objective, strategy knobs, seed, unit
+    energies — enters :meth:`fingerprint`, so cached sweep records from
+    different searches can never collide.
+    """
+
+    def __init__(self, config: Optional[ChainConfig] = None,
+                 objective: str = "throughput", strategy: str = "exhaustive",
+                 shortlist: int = 4, **strategy_kwargs) -> None:
+        from repro.mapping import make_strategy
+
+        self.name = "analytical-mapped"
+        self.default_config = config or ChainConfig()
+        self.objective = objective
+        self.shortlist = shortlist
+        self.strategy = make_strategy(strategy, **strategy_kwargs)
+        self._memo: Dict[str, Any] = {}
+
+    def _optimize(self, network: Network, config: ChainConfig, batch: int):
+        from repro.mapping import ScheduleOptimizer
+
+        memo_key = canonical_json({
+            "config": config_fingerprint(config),
+            "workload": workload_fingerprint(network),
+            "batch": batch,
+        })
+        if memo_key not in self._memo:
+            optimizer = ScheduleOptimizer(
+                config=config,
+                objective=self.objective,
+                strategy=self.strategy,
+                batch=batch,
+                shortlist=self.shortlist,
+            )
+            self._memo[memo_key] = optimizer.optimize(network)
+        return self._memo[memo_key]
+
+    def evaluate(self, network: Network, config: Optional[ChainConfig] = None,
+                 batch: int = 1) -> RunRecord:
+        config = config or self.default_config
+        schedule = self._optimize(network, config, batch)
+        time_s = schedule.total_time_per_batch_s()
+        energy_j = schedule.total_energy_per_batch_j()
+        metrics = {
+            "fps": schedule.frames_per_second(),
+            "total_time_per_batch_s": time_s,
+            "first_image_latency_s": schedule.first_image_latency_s(),
+            "energy_per_batch_j": energy_j,
+            "edp_js": energy_j * time_s,
+            "power_w": energy_j / time_s if time_s else 0.0,
+            "objective_value": schedule.objective_value(),
+            "baseline_objective_value": schedule.baseline_objective_value(),
+            "improvement_fraction": schedule.improvement_fraction(),
+            "search_evaluations": float(schedule.evaluations),
+            "peak_gops": config.peak_gops,
+        }
+        return RunRecord(
+            engine=self.name,
+            network=network.name,
+            batch=batch,
+            config_summary=config.describe(),
+            metrics=metrics,
+            extra={"schedule": schedule.to_json_dict()},
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "strategy": self.strategy.fingerprint(),
+            "shortlist": self.shortlist,
+            "default_config": dataclasses.asdict(self.default_config),
         }
 
 
@@ -440,6 +523,10 @@ def _make_analytical_batch_detailed(**kwargs) -> AnalyticalBatchEngine:
     return AnalyticalBatchEngine(**kwargs)
 
 
+def _make_analytical_mapped(**kwargs) -> MappedAnalyticalEngine:
+    return MappedAnalyticalEngine(**kwargs)
+
+
 def _make_cycle(**kwargs) -> CycleEngine:
     return CycleEngine(**kwargs)
 
@@ -480,6 +567,7 @@ DEFAULT_ENGINES = {
     "analytical-detailed": _make_analytical_detailed,
     "analytical-batch": _make_analytical_batch,
     "analytical-batch-detailed": _make_analytical_batch_detailed,
+    "analytical-mapped": _make_analytical_mapped,
     "cycle": _make_cycle,
     "cycle-scalar": _make_cycle_scalar,
     "functional": _make_functional,

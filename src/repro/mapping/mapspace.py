@@ -1,0 +1,336 @@
+"""Mapspace enumeration: the legal mappings of one layer onto the chain.
+
+A mapping candidate fixes the four scheduling choices the chain architecture
+leaves open for a convolutional layer:
+
+* ``primitives`` — how many of the chain's ``floor(P / K^2)`` primitive
+  slots execute the layer (fewer primitives mean more passes but fewer
+  active PEs);
+* ``stripe_height`` — ofmap rows computed per stripe (the paper uses the
+  full ``K``; any ``1..K`` is legal, trading stripe count against the
+  iMemory band height);
+* ``chunk`` — kMemory-resident passes per kernel refill (``1..capacity``
+  words per PE; ``ceil(passes / chunk)`` refills);
+* ``interleave`` — ``"batch"`` (the paper's chunk-major-over-batch order:
+  kernels load once per batch, partial ofmaps spill across chunk
+  boundaries) or ``"image"`` (image-major: no partial-sum spills, kernels
+  reload per image whenever they do not fit).
+
+Legality checks reuse :class:`~repro.errors.MappingError` via
+:meth:`repro.core.mapper.LayerMapper.map_layer_with`.  Enumeration applies
+*analytic pruning bounds* so zoo-scale spaces stay tractable:
+
+* the cost model depends on ``primitives`` only through ``passes =
+  ceil(Q / p)`` and the active-PE count ``p * K^2``, and every cost column
+  is weakly *increasing* in ``p`` at fixed ``passes`` (more active PEs burn
+  more chain energy for the same latency) — so only the **minimal** ``p``
+  per distinct ``passes`` value (plus the Table II baseline ``p``) needs
+  evaluating;
+* the cost model depends on ``chunk`` only through ``refills =
+  ceil(passes / chunk)`` — so only the **maximal** chunk per distinct
+  refill count needs evaluating;
+* the two interleave policies coincide when ``refills == 1``, so the
+  image-major variant is only emitted when the weights do not fit.
+
+Both bounds follow the ``ceil``-plateau structure (there are at most
+``O(sqrt(Q))`` distinct values of ``ceil(Q / p)``), which is what keeps the
+pruned space around 10^3–10^4 candidates per layer even for VGG-scale
+``Q = 262144`` channel-pair layers whose full space has ~10^5 points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cnn.layer import ConvLayer
+from repro.cnn.network import Network
+from repro.core.config import ChainConfig
+from repro.core.mapper import LayerMapper
+from repro.errors import MappingError
+
+#: batch-interleave policies a candidate can select
+INTERLEAVES = ("batch", "image")
+
+
+@dataclass(frozen=True)
+class MappingCandidate:
+    """One point of a layer's mapspace."""
+
+    primitives: int
+    stripe_height: int
+    chunk: int
+    interleave: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.interleave not in INTERLEAVES:
+            raise MappingError(
+                f"interleave must be one of {INTERLEAVES}, got {self.interleave!r}"
+            )
+
+    @property
+    def image_major(self) -> bool:
+        """True for the image-major (latency-oriented) schedule."""
+        return self.interleave == "image"
+
+    def describe(self) -> str:
+        """Compact human-readable form (the ``repro map`` table cells)."""
+        return (f"p={self.primitives} h={self.stripe_height} "
+                f"c={self.chunk} {self.interleave}")
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form suitable for ``json.dump`` and cache payloads."""
+        return {
+            "primitives": self.primitives,
+            "stripe_height": self.stripe_height,
+            "chunk": self.chunk,
+            "interleave": self.interleave,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "MappingCandidate":
+        """Rebuild a candidate from :meth:`to_json_dict` output."""
+        return cls(
+            primitives=int(data["primitives"]),
+            stripe_height=int(data["stripe_height"]),
+            chunk=int(data["chunk"]),
+            interleave=str(data.get("interleave", "batch")),
+        )
+
+
+def candidate_arrays(candidates: List[MappingCandidate]
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Struct-of-arrays columns of a candidate list.
+
+    Returns ``(primitives, stripe_height, chunk, interleave_image)`` in the
+    argument order :meth:`repro.analysis.batch.MappingBatchEvaluator.evaluate`
+    expects.
+    """
+    return (
+        np.array([c.primitives for c in candidates], dtype=np.int64),
+        np.array([c.stripe_height for c in candidates], dtype=np.int64),
+        np.array([c.chunk for c in candidates], dtype=np.int64),
+        np.array([c.image_major for c in candidates], dtype=bool),
+    )
+
+
+class LayerMapSpace:
+    """The legal mapping candidates of one layer on one chain configuration."""
+
+    def __init__(self, layer: ConvLayer, config: Optional[ChainConfig] = None) -> None:
+        self.layer = layer
+        self.config = config or ChainConfig()
+        self._mapper = LayerMapper(self.config)
+        kernel_area = layer.kernel_size * layer.kernel_size
+        if kernel_area > self.config.num_pes:
+            raise MappingError(
+                f"{layer.name}: kernel {layer.kernel_size}x{layer.kernel_size} needs "
+                f"{kernel_area} PEs but the chain has only {self.config.num_pes}"
+            )
+        self.max_primitives = self.config.num_pes // kernel_area
+        self.kmemory_capacity = self.config.kmemory_words_per_pe
+        self.channel_pairs = layer.channel_pairs()
+
+    # ------------------------------------------------------------------ #
+    # individual candidates
+    # ------------------------------------------------------------------ #
+    def baseline(self) -> MappingCandidate:
+        """The paper's Table II mapping as a candidate of this space."""
+        passes = -(-self.channel_pairs // self.max_primitives)
+        return MappingCandidate(
+            primitives=self.max_primitives,
+            stripe_height=self.layer.kernel_size,
+            chunk=min(self.kmemory_capacity, passes),
+            interleave="batch",
+        )
+
+    def validate(self, candidate: MappingCandidate) -> None:
+        """Raise :class:`MappingError` unless ``candidate`` is legal here.
+
+        Delegates to :meth:`LayerMapper.map_layer_with`, the single source of
+        legality for primitive counts, stripe heights and kernel chunks.
+        """
+        self._mapper.map_layer_with(
+            self.layer,
+            primitives=candidate.primitives,
+            stripe_height=candidate.stripe_height,
+            kernel_chunk=candidate.chunk,
+        )
+
+    def passes_for(self, primitives: int) -> int:
+        """Round-robin passes needed at a given primitive count."""
+        if not (1 <= primitives <= self.max_primitives):
+            raise MappingError(
+                f"{self.layer.name}: primitives must be in [1, {self.max_primitives}], "
+                f"got {primitives}"
+            )
+        return -(-self.channel_pairs // primitives)
+
+    def refills_for(self, passes: int, chunk: int) -> int:
+        """kMemory refills at a given pass count and chunk size."""
+        return -(-passes // min(chunk, passes))
+
+    # ------------------------------------------------------------------ #
+    # pruning bounds
+    # ------------------------------------------------------------------ #
+    def pruned_primitives(self) -> List[int]:
+        """Minimal primitive count per distinct ``passes`` value (+ baseline).
+
+        Cost is weakly *increasing* in ``p`` at fixed ``passes`` (latency
+        depends on ``passes`` alone; energy additionally scales with the
+        active-PE count ``p * K^2``), so the smallest ``p`` on each
+        ``ceil(Q/p)`` plateau dominates the rest of it — the plateau walk
+        visits O(sqrt(Q)) values instead of all ``max_primitives``.
+        """
+        q = self.channel_pairs
+        values: List[int] = []
+        p = 1
+        while p <= self.max_primitives:
+            passes = -(-q // p)
+            values.append(p)
+            if passes == 1:
+                break
+            # largest p with the same ceil(Q/p) plateau
+            p = (q - 1) // (passes - 1) + 1
+        if self.max_primitives not in values:
+            values.append(self.max_primitives)
+        return sorted(values)
+
+    def pruned_chunks(self, passes: int) -> List[int]:
+        """Maximal chunk per distinct refill count (descending).
+
+        Cost depends on ``chunk`` only through ``refills``, so one chunk per
+        plateau of ``ceil(passes / chunk)`` covers every distinct cost.
+        """
+        chunk = min(self.kmemory_capacity, passes)
+        values: List[int] = []
+        while chunk >= 1:
+            refills = -(-passes // chunk)
+            values.append(chunk)
+            # smallest chunk still achieving `refills`, then step below it
+            chunk = -(-passes // refills) - 1
+        return values
+
+    def stripe_heights(self) -> List[int]:
+        """All legal stripe heights (``1..K`` — K is at most 11, no pruning)."""
+        return list(range(1, self.layer.kernel_size + 1))
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+    def full_size(self) -> int:
+        """Size of the unpruned space (the analytic upper bound)."""
+        return (self.max_primitives * self.layer.kernel_size
+                * self.kmemory_capacity * len(INTERLEAVES))
+
+    def enumerate(self) -> List[MappingCandidate]:
+        """Every cost-distinct legal candidate (the pruned space)."""
+        return list(self.iter_candidates())
+
+    def iter_candidates(self) -> Iterator[MappingCandidate]:
+        """Yield the pruned space lazily (see the module docstring bounds)."""
+        heights = self.stripe_heights()
+        for primitives in self.pruned_primitives():
+            passes = self.passes_for(primitives)
+            for chunk in self.pruned_chunks(passes):
+                refills = self.refills_for(passes, chunk)
+                interleaves = INTERLEAVES if refills > 1 else ("batch",)
+                for height in heights:
+                    for interleave in interleaves:
+                        yield MappingCandidate(
+                            primitives=primitives,
+                            stripe_height=height,
+                            chunk=chunk,
+                            interleave=interleave,
+                        )
+
+    def pruned_size(self) -> int:
+        """Number of candidates :meth:`enumerate` yields."""
+        total = 0
+        for primitives in self.pruned_primitives():
+            passes = self.passes_for(primitives)
+            for chunk in self.pruned_chunks(passes):
+                refills = self.refills_for(passes, chunk)
+                total += self.layer.kernel_size * (2 if refills > 1 else 1)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # stochastic access (random sampling / annealing moves)
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, count: int) -> List[MappingCandidate]:
+        """``count`` candidates drawn uniformly from the *full* space."""
+        candidates = []
+        for _ in range(count):
+            primitives = int(rng.integers(1, self.max_primitives + 1))
+            passes = self.passes_for(primitives)
+            candidates.append(MappingCandidate(
+                primitives=primitives,
+                stripe_height=int(rng.integers(1, self.layer.kernel_size + 1)),
+                chunk=int(rng.integers(1, min(self.kmemory_capacity, passes) + 1)),
+                interleave=INTERLEAVES[int(rng.integers(len(INTERLEAVES)))],
+            ))
+        return candidates
+
+    def neighbor(self, candidate: MappingCandidate,
+                 rng: np.random.Generator) -> MappingCandidate:
+        """A legal single-dimension mutation of ``candidate`` (annealing move)."""
+        dimension = int(rng.integers(4))
+        if dimension == 0:
+            values = self.pruned_primitives()
+            return replace(candidate, primitives=values[int(rng.integers(len(values)))])
+        if dimension == 1:
+            return replace(candidate,
+                           stripe_height=int(rng.integers(1, self.layer.kernel_size + 1)))
+        if dimension == 2:
+            passes = self.passes_for(candidate.primitives)
+            chunks = self.pruned_chunks(passes)
+            return replace(candidate, chunk=chunks[int(rng.integers(len(chunks)))])
+        flipped = "image" if candidate.interleave == "batch" else "batch"
+        return replace(candidate, interleave=flipped)
+
+    def describe(self) -> str:
+        """One-line space summary (sizes before/after pruning)."""
+        return (f"{self.layer.name}: {self.pruned_size()} pruned / "
+                f"{self.full_size()} full candidates "
+                f"(p<=%d, K=%d, chunk<=%d)" % (
+                    self.max_primitives, self.layer.kernel_size,
+                    self.kmemory_capacity))
+
+
+class MapSpace:
+    """Per-layer mapspaces of a whole network."""
+
+    def __init__(self, network: Network, config: Optional[ChainConfig] = None) -> None:
+        self.network = network
+        self.config = config or ChainConfig()
+        self.layer_spaces = [LayerMapSpace(layer, self.config)
+                             for layer in network.conv_layers]
+        if not self.layer_spaces:
+            raise MappingError(f"{network.name}: no convolutional layers to map")
+
+    def __iter__(self) -> Iterator[LayerMapSpace]:
+        return iter(self.layer_spaces)
+
+    def __len__(self) -> int:
+        return len(self.layer_spaces)
+
+    def total_pruned_size(self) -> int:
+        """Candidates across all layers after pruning."""
+        return sum(space.pruned_size() for space in self.layer_spaces)
+
+    def total_full_size(self) -> int:
+        """Candidates across all layers before pruning."""
+        return sum(space.full_size() for space in self.layer_spaces)
+
+    def baseline_candidates(self) -> List[MappingCandidate]:
+        """The Table II mapping of every layer."""
+        return [space.baseline() for space in self.layer_spaces]
+
+    def describe(self) -> str:
+        """Multi-line summary of every layer's space."""
+        lines = [f"{self.network.name}: {self.total_pruned_size()} pruned / "
+                 f"{self.total_full_size()} full candidates"]
+        lines += ["  " + space.describe() for space in self.layer_spaces]
+        return "\n".join(lines)

@@ -1,0 +1,533 @@
+"""Schedule optimisation over per-layer mapspaces, with verification.
+
+:class:`ScheduleOptimizer` searches every layer's
+:class:`~repro.mapping.mapspace.LayerMapSpace` with a
+:class:`~repro.mapping.strategies.Strategy`, scoring candidates columnar
+through :class:`repro.analysis.batch.MappingBatchEvaluator`, and assembles an
+:class:`OptimizedSchedule` for one of four objectives:
+
+* ``latency``    — first-image latency (image-pipelined network view);
+* ``throughput`` — batch makespan (the paper's fps metric);
+* ``energy``     — joules per batch;
+* ``edp``        — energy x batch-makespan product.
+
+The assembly starts from the Table II baseline and only adopts a searched
+candidate when it strictly improves the *network* objective, so the
+optimised schedule is **never worse than the baseline** by construction —
+even for the non-additive EDP objective, where per-layer proxy scores alone
+would not guarantee it.
+
+Whole searches are memoised in :class:`repro.engine.cache.RunCache` (keyed
+by configuration, workload, batch, objective and the full strategy
+fingerprint), and :meth:`ScheduleOptimizer.verify` drives every searched
+mapping through the :class:`~repro.sim.functional.FunctionalChainSimulator`:
+the candidate's ofmaps must match the im2col golden reference to float
+round-off and be bit-identical to the baseline-stripe simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.batch import MAPPING_RESULT_COLUMNS, MappingBatchEvaluator
+from repro.cnn.generator import WorkloadGenerator
+from repro.cnn.network import Network
+from repro.cnn.reference import conv2d_im2col
+from repro.core.config import ChainConfig
+from repro.energy.components import EnergyParams
+from repro.engine.base import RunRecord
+from repro.engine.cache import (
+    CACHE_SCHEMA,
+    RunCache,
+    canonical_json,
+    config_fingerprint,
+    workload_fingerprint,
+)
+from repro.errors import ConfigurationError
+from repro.mapping.mapspace import (
+    LayerMapSpace,
+    MappingCandidate,
+    MapSpace,
+    candidate_arrays,
+)
+from repro.mapping.strategies import SearchResult, Strategy, make_strategy
+from repro.sim.functional import FunctionalChainSimulator
+
+#: objective name -> per-layer proxy column of MAPPING_RESULT_COLUMNS
+OBJECTIVES: Dict[str, str] = {
+    "latency": "first_image_latency_s",
+    "throughput": "time_per_batch_s",
+    "energy": "energy_per_batch_j",
+    "edp": "edp_js",
+}
+
+
+def network_objective(objective: str,
+                      layer_metrics: List[Dict[str, float]]) -> float:
+    """Network-level objective value from per-layer metric rows.
+
+    Latency, batch time and energy are sums over layers; EDP is the product
+    of the network sums (not the sum of per-layer products), which is why
+    schedule assembly re-checks this value instead of trusting per-layer
+    proxies.
+    """
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; available: {', '.join(OBJECTIVES)}"
+        )
+    if objective == "latency":
+        return sum(m["first_image_latency_s"] for m in layer_metrics)
+    time_s = sum(m["time_per_batch_s"] for m in layer_metrics)
+    if objective == "throughput":
+        return time_s
+    energy_j = sum(m["energy_per_batch_j"] for m in layer_metrics)
+    if objective == "energy":
+        return energy_j
+    return energy_j * time_s
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """One layer's chosen mapping and its evaluated metrics."""
+
+    layer_name: str
+    candidate: MappingCandidate
+    metrics: Dict[str, float]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for cache records and ``--json`` output."""
+        return {
+            "layer": self.layer_name,
+            "candidate": self.candidate.to_json_dict(),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "LayerSchedule":
+        """Rebuild from :meth:`to_json_dict` output."""
+        return cls(
+            layer_name=str(data["layer"]),
+            candidate=MappingCandidate.from_json_dict(data["candidate"]),
+            metrics={str(k): float(v) for k, v in data["metrics"].items()},
+        )
+
+
+@dataclass(frozen=True)
+class OptimizedSchedule:
+    """A searched network schedule, with its baseline for comparison."""
+
+    network_name: str
+    objective: str
+    strategy: str
+    batch: int
+    frequency_hz: float
+    layers: List[LayerSchedule]
+    baseline: List[LayerSchedule]
+    evaluations: int = 0
+    cached: bool = False
+
+    # ------------------------------------------------------------------ #
+    # objective arithmetic
+    # ------------------------------------------------------------------ #
+    def objective_value(self) -> float:
+        """Network objective of the searched schedule (lower is better)."""
+        return network_objective(self.objective, [s.metrics for s in self.layers])
+
+    def baseline_objective_value(self) -> float:
+        """Network objective of the Table II baseline schedule."""
+        return network_objective(self.objective, [s.metrics for s in self.baseline])
+
+    def improvement_fraction(self) -> float:
+        """Relative gain over the baseline (0.0 when the baseline is optimal)."""
+        base = self.baseline_objective_value()
+        return (base - self.objective_value()) / base if base else 0.0
+
+    def total_time_per_batch_s(self) -> float:
+        """Batch makespan of the searched schedule."""
+        return sum(s.metrics["time_per_batch_s"] for s in self.layers)
+
+    def total_energy_per_batch_j(self) -> float:
+        """Energy per batch of the searched schedule."""
+        return sum(s.metrics["energy_per_batch_j"] for s in self.layers)
+
+    def first_image_latency_s(self) -> float:
+        """First-image latency of the searched schedule."""
+        return sum(s.metrics["first_image_latency_s"] for s in self.layers)
+
+    def frames_per_second(self) -> float:
+        """Throughput implied by the searched schedule."""
+        time_s = self.total_time_per_batch_s()
+        return self.batch / time_s if time_s else 0.0
+
+    # ------------------------------------------------------------------ #
+    # consumers
+    # ------------------------------------------------------------------ #
+    def stripe_heights(self) -> Dict[str, int]:
+        """Layer-name -> searched stripe height (the functional-sim knob)."""
+        return {s.layer_name: s.candidate.stripe_height for s in self.layers}
+
+    def layer_schedule(self, layer_name: str) -> LayerSchedule:
+        """Look up one layer's searched schedule."""
+        for entry in self.layers:
+            if entry.layer_name == layer_name:
+                return entry
+        raise ConfigurationError(
+            f"{self.network_name}: no scheduled layer named {layer_name!r}"
+        )
+
+    def describe(self) -> str:
+        """Human-readable per-layer schedule with the objective summary."""
+        lines = [f"{self.network_name}: objective={self.objective} "
+                 f"strategy={self.strategy} batch={self.batch} "
+                 f"({self.evaluations} candidates evaluated"
+                 + (", cached)" if self.cached else ")")]
+        for searched, base in zip(self.layers, self.baseline):
+            marker = " " if searched.candidate == base.candidate else "*"
+            lines.append(f"  {marker} {searched.layer_name:<10} "
+                         f"{searched.candidate.describe():<28} "
+                         f"refills={searched.metrics['kmemory_refills']:.0f} "
+                         f"passes={searched.metrics['passes']:.0f}")
+        base_value = self.baseline_objective_value()
+        lines.append(
+            f"  {self.objective}: searched {self.objective_value():.6g} "
+            f"vs baseline {base_value:.6g} "
+            f"({self.improvement_fraction() * 100:.2f} % better)"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for cache records and ``--json`` output."""
+        return {
+            "network": self.network_name,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "batch": self.batch,
+            "frequency_hz": self.frequency_hz,
+            "evaluations": self.evaluations,
+            "layers": [s.to_json_dict() for s in self.layers],
+            "baseline": [s.to_json_dict() for s in self.baseline],
+            "objective_value": self.objective_value(),
+            "baseline_objective_value": self.baseline_objective_value(),
+            "improvement_fraction": self.improvement_fraction(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any],
+                       cached: bool = False) -> "OptimizedSchedule":
+        """Rebuild from :meth:`to_json_dict` output."""
+        return cls(
+            network_name=str(data["network"]),
+            objective=str(data["objective"]),
+            strategy=str(data["strategy"]),
+            batch=int(data["batch"]),
+            frequency_hz=float(data["frequency_hz"]),
+            layers=[LayerSchedule.from_json_dict(s) for s in data["layers"]],
+            baseline=[LayerSchedule.from_json_dict(s) for s in data["baseline"]],
+            evaluations=int(data.get("evaluations", 0)),
+            cached=cached,
+        )
+
+
+@dataclass(frozen=True)
+class LayerVerification:
+    """Functional verification of one searched layer mapping."""
+
+    layer_name: str
+    candidate: MappingCandidate
+    max_abs_error: float          # vs the im2col golden reference
+    bit_identical: bool           # vs the baseline-stripe simulation
+    windows_kept: int
+    seconds: float
+    covers: Tuple[str, ...] = ()  # geometry-identical layers this result covers
+
+    def describe(self) -> str:
+        """One verification line."""
+        status = "ok" if self.bit_identical else "BIT-MISMATCH"
+        extra = f" (also {', '.join(self.covers)})" if self.covers else ""
+        return (f"{self.layer_name:<10} {self.candidate.describe():<28} "
+                f"max|err|={self.max_abs_error:.2e} "
+                f"windows={self.windows_kept:<10} {status}{extra}")
+
+
+@dataclass
+class MappingVerification:
+    """Whole-schedule functional verification outcome."""
+
+    network_name: str
+    seed: int
+    tolerance: float
+    layers: List[LayerVerification] = field(default_factory=list)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst golden-reference deviation over all verified mappings."""
+        return max((entry.max_abs_error for entry in self.layers), default=0.0)
+
+    @property
+    def passed(self) -> bool:
+        """True when every mapping is golden-close and baseline-bit-identical."""
+        return all(entry.bit_identical and entry.max_abs_error <= self.tolerance
+                   for entry in self.layers)
+
+    def describe(self) -> str:
+        """Multi-line verification report."""
+        lines = [entry.describe() for entry in self.layers]
+        verdict = "PASSED" if self.passed else "FAILED"
+        lines.append(
+            f"mapping verification {verdict}: {len(self.layers)} distinct "
+            f"mappings, max|err|={self.max_abs_error:.2e} "
+            f"(tolerance {self.tolerance:.0e})"
+        )
+        return "\n".join(lines)
+
+
+class ScheduleOptimizer:
+    """Searches per-layer mapspaces and assembles network schedules."""
+
+    def __init__(
+        self,
+        config: Optional[ChainConfig] = None,
+        objective: str = "throughput",
+        strategy: str | Strategy = "exhaustive",
+        batch: int = 16,
+        energy: Optional[EnergyParams] = None,
+        cache: Optional[RunCache] = None,
+        shortlist: int = 4,
+    ) -> None:
+        if objective not in OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; available: {', '.join(OBJECTIVES)}"
+            )
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        if shortlist < 1:
+            raise ConfigurationError(f"shortlist must be >= 1, got {shortlist}")
+        self.config = config or ChainConfig()
+        self.objective = objective
+        self.strategy = (strategy if isinstance(strategy, Strategy)
+                         else make_strategy(strategy))
+        self.batch = int(batch)
+        self.energy = energy or EnergyParams()
+        self.cache = cache
+        self.shortlist = shortlist
+
+    # ------------------------------------------------------------------ #
+    # scoring plumbing
+    # ------------------------------------------------------------------ #
+    def _evaluator_for(self, space: LayerMapSpace) -> MappingBatchEvaluator:
+        return MappingBatchEvaluator(space.layer, config=self.config,
+                                     batch=self.batch, energy=self.energy)
+
+    def _metrics_for(self, evaluator: MappingBatchEvaluator,
+                     candidates: List[MappingCandidate]) -> List[Dict[str, float]]:
+        columns = evaluator.evaluate(*candidate_arrays(candidates))
+        return [
+            {name: float(columns[name][index]) for name in MAPPING_RESULT_COLUMNS}
+            for index in range(len(candidates))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def search_layer(self, space: LayerMapSpace) -> SearchResult:
+        """Run the configured strategy over one layer's space."""
+        evaluator = self._evaluator_for(space)
+        proxy = OBJECTIVES[self.objective]
+
+        def scorer(candidates):
+            columns = evaluator.evaluate(*candidate_arrays(list(candidates)))
+            return np.asarray(columns[proxy], dtype=np.float64)
+
+        return self.strategy.search(space, scorer, shortlist=self.shortlist)
+
+    def optimize(self, network: Network) -> OptimizedSchedule:
+        """Search every layer and assemble the never-worse network schedule."""
+        if self.cache is not None:
+            key = self.cache_key(network)
+            record = self.cache.get(key)
+            if record is not None and "schedule" in record.extra:
+                return OptimizedSchedule.from_json_dict(record.extra["schedule"],
+                                                        cached=True)
+        schedule = self._optimize_uncached(network)
+        if self.cache is not None:
+            self.cache.put(key, RunRecord(
+                engine="mapping-search",
+                network=network.name,
+                batch=self.batch,
+                config_summary=self.config.describe(),
+                metrics={
+                    "objective_value": schedule.objective_value(),
+                    "baseline_objective_value": schedule.baseline_objective_value(),
+                    "improvement_fraction": schedule.improvement_fraction(),
+                },
+                extra={"schedule": schedule.to_json_dict()},
+            ))
+        return schedule
+
+    def _optimize_uncached(self, network: Network) -> OptimizedSchedule:
+        mapspace = MapSpace(network, self.config)
+        shortlists: List[List[MappingCandidate]] = []
+        metric_cache: List[Dict[MappingCandidate, Dict[str, float]]] = []
+        baseline_rows: List[LayerSchedule] = []
+        evaluations = 0
+        for space in mapspace:
+            evaluator = self._evaluator_for(space)
+            result = self.search_layer(space)
+            evaluations += result.evaluations
+            baseline_candidate = space.baseline()
+            pool = list(result.candidates)
+            if baseline_candidate not in pool:
+                pool.append(baseline_candidate)
+            rows = self._metrics_for(evaluator, pool)
+            metric_cache.append(dict(zip(pool, rows)))
+            shortlists.append(pool)
+            baseline_rows.append(LayerSchedule(
+                layer_name=space.layer.name,
+                candidate=baseline_candidate,
+                metrics=metric_cache[-1][baseline_candidate],
+            ))
+
+        # assembly: start from the baseline, adopt a shortlisted candidate
+        # only when it strictly improves the *network* objective — monotone
+        # descent from the baseline, hence never worse than it
+        chosen = [row.candidate for row in baseline_rows]
+        chosen_metrics = [row.metrics for row in baseline_rows]
+        for _ in range(2):  # additive objectives converge in one sweep; EDP in two
+            improved = False
+            for index, pool in enumerate(shortlists):
+                current = network_objective(self.objective, chosen_metrics)
+                best_candidate = chosen[index]
+                best_value = current
+                for candidate in pool:
+                    trial = list(chosen_metrics)
+                    trial[index] = metric_cache[index][candidate]
+                    value = network_objective(self.objective, trial)
+                    if value < best_value:
+                        best_value = value
+                        best_candidate = candidate
+                if best_candidate != chosen[index]:
+                    chosen[index] = best_candidate
+                    chosen_metrics[index] = metric_cache[index][best_candidate]
+                    improved = True
+            if not improved:
+                break
+
+        layers = [
+            LayerSchedule(layer_name=row.layer_name, candidate=candidate,
+                          metrics=metrics)
+            for row, candidate, metrics in zip(baseline_rows, chosen, chosen_metrics)
+        ]
+        return OptimizedSchedule(
+            network_name=network.name,
+            objective=self.objective,
+            strategy=self.strategy.name,
+            batch=self.batch,
+            frequency_hz=self.config.frequency_hz,
+            layers=layers,
+            baseline=baseline_rows,
+            evaluations=evaluations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # memoisation
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> Dict[str, Any]:
+        """Search-configuration identity (enters cache keys and records)."""
+        return {
+            "objective": self.objective,
+            "strategy": self.strategy.fingerprint(),
+            "batch": self.batch,
+            "shortlist": self.shortlist,
+            "energy": asdict(self.energy),
+        }
+
+    def cache_key(self, network: Network) -> str:
+        """Deterministic RunCache key of one whole-network search."""
+        from repro import __version__
+
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "kind": "mapping-search",
+            "config": config_fingerprint(self.config),
+            "workload": workload_fingerprint(network),
+            "search": self.fingerprint(),
+        }
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def verify(self, network: Network, schedule: OptimizedSchedule,
+               seed: int = 2017, tolerance: float = 1e-9,
+               deduplicate: bool = True) -> MappingVerification:
+        """Functionally verify every searched mapping of ``schedule``.
+
+        Each distinct (layer geometry, stripe height) pair drives the
+        vectorized :class:`FunctionalChainSimulator` on seeded tensors; the
+        ofmaps must match the im2col golden reference within ``tolerance``
+        (float round-off — the simulator accumulates in window order, the
+        GEMM reference in im2col order) and be **bit-identical** to the
+        baseline full-stripe simulation.  A searched stripe height equal to
+        the baseline's runs the identical stripe plan, so the bit-identity
+        re-simulation only happens for genuinely re-striped layers.
+        """
+        outcome = MappingVerification(network_name=network.name, seed=seed,
+                                      tolerance=tolerance)
+        parent = WorkloadGenerator(seed=seed)
+        simulator = FunctionalChainSimulator(self.config, backend="vectorized")
+        verified: Dict[Tuple, int] = {}
+        covers: Dict[int, List[str]] = {}
+        for layer in network.conv_layers:
+            entry = schedule.layer_schedule(layer.name)
+            height = entry.candidate.stripe_height
+            geometry = tuple(sorted(
+                (name, value) for name, value in asdict(layer).items()
+                if name != "name"
+            ))
+            key = (geometry, height)
+            if deduplicate and key in verified:
+                covers[verified[key]].append(layer.name)
+                continue
+            generator = parent.spawn(layer.name)
+            ifmaps, weights = generator.layer_pair(layer)
+            started = time.perf_counter()
+            run = simulator.run_layer(layer, ifmaps, weights, stripe_height=height)
+            error = run.max_abs_error_vs_reference(ifmaps, weights)
+            if height == layer.kernel_size:
+                identical = True
+            else:
+                base = simulator.run_layer(layer, ifmaps, weights)
+                identical = bool(np.array_equal(run.ofmaps, base.ofmaps))
+            verified[key] = len(outcome.layers)
+            covers[verified[key]] = []
+            outcome.layers.append(LayerVerification(
+                layer_name=layer.name,
+                candidate=entry.candidate,
+                max_abs_error=error,
+                bit_identical=identical,
+                windows_kept=run.stats.windows_kept,
+                seconds=time.perf_counter() - started,
+            ))
+        # attach the geometry-identical layers each verification covers
+        outcome.layers = [
+            LayerVerification(
+                layer_name=entry.layer_name,
+                candidate=entry.candidate,
+                max_abs_error=entry.max_abs_error,
+                bit_identical=entry.bit_identical,
+                windows_kept=entry.windows_kept,
+                seconds=entry.seconds,
+                covers=tuple(covers.get(index, ())),
+            )
+            for index, entry in enumerate(outcome.layers)
+        ]
+        return outcome

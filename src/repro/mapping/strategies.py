@@ -1,0 +1,304 @@
+"""Search strategies over a layer's mapspace.
+
+Every strategy implements one protocol —
+
+    ``strategy.search(space, scorer, shortlist) -> SearchResult``
+
+— where ``scorer`` maps a list of :class:`MappingCandidate` to a NumPy array
+of objective values (lower is better; the optimiser builds it on top of the
+columnar :class:`repro.analysis.batch.MappingBatchEvaluator`, so a single
+scorer call on 10^4 candidates costs milliseconds).  The returned shortlist
+is best-first; the optimiser assembles the network schedule from the
+shortlists with a never-worse-than-baseline guarantee.
+
+Stochastic strategies (random sampling, simulated annealing) derive their
+per-layer RNG streams with :func:`repro.cnn.generator.stable_seed`, so a
+(seed, layer, strategy) triple reproduces the same search on any platform —
+the determinism CI relies on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.cnn.generator import stable_seed
+from repro.errors import ConfigurationError
+from repro.mapping.mapspace import INTERLEAVES, LayerMapSpace, MappingCandidate
+
+#: strategy registry names accepted by :func:`make_strategy` and the CLI
+STRATEGIES = ("exhaustive", "random", "greedy", "anneal")
+
+Scorer = Callable[[Sequence[MappingCandidate]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one per-layer search."""
+
+    candidates: List[MappingCandidate]  # best first
+    scores: List[float]                 # objective values, aligned
+    evaluations: int                    # candidates scored by the strategy
+
+    @property
+    def best(self) -> MappingCandidate:
+        """The strategy's best candidate."""
+        return self.candidates[0]
+
+    @property
+    def best_score(self) -> float:
+        """Objective value of :attr:`best`."""
+        return self.scores[0]
+
+
+def _shortlist(candidates: Sequence[MappingCandidate], scores: np.ndarray,
+               k: int, evaluations: int) -> SearchResult:
+    """Deduplicated best-first shortlist of scored candidates."""
+    order = np.argsort(scores, kind="stable")
+    picked: List[MappingCandidate] = []
+    picked_scores: List[float] = []
+    seen = set()
+    for index in order:
+        candidate = candidates[int(index)]
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        picked.append(candidate)
+        picked_scores.append(float(scores[int(index)]))
+        if len(picked) >= k:
+            break
+    return SearchResult(candidates=picked, scores=picked_scores,
+                        evaluations=evaluations)
+
+
+class Strategy(abc.ABC):
+    """A search over one layer's mapspace."""
+
+    #: registry name (used in records, cache fingerprints and CLI output)
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def search(self, space: LayerMapSpace, scorer: Scorer,
+               shortlist: int = 4) -> SearchResult:
+        """Best-first shortlist of at most ``shortlist`` candidates."""
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Identity entering the search cache key (include every knob)."""
+        return {"name": self.name}
+
+
+class ExhaustiveStrategy(Strategy):
+    """Score the whole pruned space in one columnar call.
+
+    The analytic pruning bounds of :class:`LayerMapSpace` keep the pruned
+    space small enough (10^3–10^4 per layer on the zoo networks) that this is
+    both exact and fast; ``max_candidates`` guards against pathological
+    configurations blowing the columnar batch up.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, max_candidates: int = 2_000_000) -> None:
+        self.max_candidates = max_candidates
+
+    def search(self, space: LayerMapSpace, scorer: Scorer,
+               shortlist: int = 4) -> SearchResult:
+        size = space.pruned_size()
+        if size > self.max_candidates:
+            raise ConfigurationError(
+                f"{space.layer.name}: pruned mapspace has {size} candidates, "
+                f"above the exhaustive limit {self.max_candidates}; use a "
+                "sampling strategy"
+            )
+        candidates = space.enumerate()
+        scores = scorer(candidates)
+        return _shortlist(candidates, scores, shortlist, len(candidates))
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"name": self.name, "max_candidates": self.max_candidates}
+
+
+class RandomStrategy(Strategy):
+    """Uniform sampling of the full space (baseline always included)."""
+
+    name = "random"
+
+    def __init__(self, samples: int = 1024, seed: int = 2017) -> None:
+        if samples < 1:
+            raise ConfigurationError(f"samples must be >= 1, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def search(self, space: LayerMapSpace, scorer: Scorer,
+               shortlist: int = 4) -> SearchResult:
+        rng = np.random.default_rng(
+            stable_seed(self.seed, self.name, space.layer.name))
+        candidates = [space.baseline()] + space.sample(rng, self.samples)
+        scores = scorer(candidates)
+        return _shortlist(candidates, scores, shortlist, len(candidates))
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"name": self.name, "samples": self.samples, "seed": self.seed}
+
+
+class GreedyStrategy(Strategy):
+    """Beam-kept coordinate descent from the Table II baseline.
+
+    Each sweep relaxes one mapping dimension at a time (primitives, stripe
+    height, chunk, interleave), scoring every pruned value of that dimension
+    for every beam state in one columnar call, and keeps the ``beam`` best
+    states.  Converges in a handful of sweeps because the per-dimension cost
+    structure is unimodal under the pruning bounds.
+    """
+
+    name = "greedy"
+
+    def __init__(self, beam: int = 4, max_sweeps: int = 4) -> None:
+        if beam < 1 or max_sweeps < 1:
+            raise ConfigurationError("beam and max_sweeps must be >= 1")
+        self.beam = beam
+        self.max_sweeps = max_sweeps
+
+    def _dimension_values(self, space: LayerMapSpace, state: MappingCandidate,
+                          dimension: str) -> List[MappingCandidate]:
+        if dimension == "primitives":
+            return [replace(state, primitives=value)
+                    for value in space.pruned_primitives()]
+        if dimension == "stripe_height":
+            return [replace(state, stripe_height=value)
+                    for value in space.stripe_heights()]
+        if dimension == "chunk":
+            passes = space.passes_for(state.primitives)
+            return [replace(state, chunk=value)
+                    for value in space.pruned_chunks(passes)]
+        return [replace(state, interleave=value) for value in INTERLEAVES]
+
+    def search(self, space: LayerMapSpace, scorer: Scorer,
+               shortlist: int = 4) -> SearchResult:
+        states = [space.baseline()]
+        best_seen: Dict[MappingCandidate, float] = {}
+        evaluations = 0
+        for _ in range(self.max_sweeps):
+            improved = False
+            for dimension in ("primitives", "stripe_height", "chunk", "interleave"):
+                pool: List[MappingCandidate] = []
+                pooled = set()
+                for state in states:
+                    for candidate in self._dimension_values(space, state, dimension):
+                        if candidate not in best_seen and candidate not in pooled:
+                            pool.append(candidate)
+                            pooled.add(candidate)
+                if not pool:
+                    continue
+                scores = scorer(pool)
+                evaluations += len(pool)
+                for candidate, score in zip(pool, scores):
+                    best_seen[candidate] = float(score)
+                ranked = sorted(best_seen.items(), key=lambda item: item[1])
+                new_states = [candidate for candidate, _ in ranked[:self.beam]]
+                if new_states != states:
+                    improved = True
+                states = new_states
+            if not improved:
+                break
+        ranked = sorted(best_seen.items(), key=lambda item: item[1])
+        top = ranked[:shortlist]
+        return SearchResult(
+            candidates=[candidate for candidate, _ in top],
+            scores=[score for _, score in top],
+            evaluations=evaluations,
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"name": self.name, "beam": self.beam, "max_sweeps": self.max_sweeps}
+
+
+class AnnealStrategy(Strategy):
+    """Simulated annealing with single-dimension moves and relative acceptance.
+
+    Moves come from :meth:`LayerMapSpace.neighbor`; a worse candidate is
+    accepted with probability ``exp(-delta / (T * |current|))``, with the
+    temperature decaying geometrically from ``initial_temperature`` — the
+    relative form keeps one schedule meaningful across objectives whose
+    scales differ by orders of magnitude (seconds vs. joules).
+    """
+
+    name = "anneal"
+
+    def __init__(self, iterations: int = 256, seed: int = 2017,
+                 initial_temperature: float = 0.25,
+                 cooling: float = 0.98) -> None:
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        if not (0.0 < cooling < 1.0):
+            raise ConfigurationError(f"cooling must be in (0, 1), got {cooling}")
+        if initial_temperature <= 0.0:
+            raise ConfigurationError("initial_temperature must be > 0")
+        self.iterations = iterations
+        self.seed = seed
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+
+    def search(self, space: LayerMapSpace, scorer: Scorer,
+               shortlist: int = 4) -> SearchResult:
+        rng = np.random.default_rng(
+            stable_seed(self.seed, self.name, space.layer.name))
+        current = space.baseline()
+        scored: Dict[MappingCandidate, float] = {}
+
+        def score_of(candidate: MappingCandidate) -> float:
+            if candidate not in scored:
+                scored[candidate] = float(scorer([candidate])[0])
+            return scored[candidate]
+
+        current_score = score_of(current)
+        temperature = self.initial_temperature
+        for _ in range(self.iterations):
+            proposal = space.neighbor(current, rng)
+            proposal_score = score_of(proposal)
+            delta = proposal_score - current_score
+            scale = max(abs(current_score), np.finfo(float).tiny)
+            if delta <= 0 or rng.random() < np.exp(-delta / (temperature * scale)):
+                current, current_score = proposal, proposal_score
+            temperature *= self.cooling
+        ranked = sorted(scored.items(), key=lambda item: item[1])
+        top = ranked[:shortlist]
+        return SearchResult(
+            candidates=[candidate for candidate, _ in top],
+            scores=[score for _, score in top],
+            evaluations=len(scored),
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "initial_temperature": self.initial_temperature,
+            "cooling": self.cooling,
+        }
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by registry name (CLI / engine entry point).
+
+    Keyword arguments not accepted by the named strategy are rejected, so a
+    typo'd knob fails loudly instead of silently running the default.
+    """
+    factories = {
+        "exhaustive": ExhaustiveStrategy,
+        "random": RandomStrategy,
+        "greedy": GreedyStrategy,
+        "anneal": AnnealStrategy,
+    }
+    if name not in factories:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: {', '.join(STRATEGIES)}"
+        )
+    try:
+        return factories[name](**kwargs)
+    except TypeError as error:
+        raise ConfigurationError(f"strategy {name!r}: {error}") from None

@@ -99,10 +99,16 @@ class FunctionalChainSimulator:
     # stripe helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _stripe_bases(padded_height: int, kernel_size: int) -> List[int]:
-        """Starting input rows of the stride-1 stripes covering the feature map."""
+    def _stripe_bases(padded_height: int, kernel_size: int,
+                      stripe_height: int) -> List[int]:
+        """Starting input rows of the stride-1 stripes covering the feature map.
+
+        ``stripe_height`` is the number of stride-1 output rows each stripe
+        produces (the paper's full stripe uses ``K``; the mapping-search
+        subsystem explores ``1..K``).
+        """
         out_rows_stride1 = padded_height - kernel_size + 1
-        bases = list(range(0, out_rows_stride1, kernel_size))
+        bases = list(range(0, out_rows_stride1, stripe_height))
         return bases
 
     def _process_pair(
@@ -112,14 +118,15 @@ class FunctionalChainSimulator:
         kernel: np.ndarray,
         out_plane: np.ndarray,
         stats: FunctionalRunStats,
+        stripe_height: int,
     ) -> None:
         """Convolve one ifmap plane with one kernel plane, accumulating into out_plane."""
         k = layer.kernel_size
         stride = layer.stride
         padded_height, padded_width = plane.shape
         kernel_col_major = kernel  # indexed [i, j] directly below
-        for base in self._stripe_bases(padded_height, k):
-            rows = min(2 * k - 1, padded_height - base)
+        for base in self._stripe_bases(padded_height, k, stripe_height):
+            rows = min(stripe_height + k - 1, padded_height - base)
             if rows < k:
                 continue
             schedule = ColumnScanSchedule(k, padded_width, stripe_rows=rows)
@@ -149,10 +156,26 @@ class FunctionalChainSimulator:
     # public API
     # ------------------------------------------------------------------ #
     def run_layer(self, layer: ConvLayer, ifmaps: np.ndarray,
-                  weights: np.ndarray) -> FunctionalRunResult:
-        """Simulate one layer; returns the ofmaps and the dataflow statistics."""
+                  weights: np.ndarray,
+                  stripe_height: Optional[int] = None) -> FunctionalRunResult:
+        """Simulate one layer; returns the ofmaps and the dataflow statistics.
+
+        ``stripe_height`` overrides the ofmap rows computed per stripe (the
+        default is the paper's full ``K``-row stripe).  Any legal height
+        partitions the same window set differently, so the ofmaps are
+        bit-identical across heights — the property the mapping-search
+        verification relies on — while the dataflow counters (stripes,
+        streamed pixels, primitive cycles) honestly reflect the choice.
+        """
         ifmaps = np.asarray(ifmaps, dtype=np.float64)
         weights = np.asarray(weights, dtype=np.float64)
+        if stripe_height is None:
+            stripe_height = layer.kernel_size
+        if not (1 <= stripe_height <= layer.kernel_size):
+            raise ConfigurationError(
+                f"{layer.name}: stripe_height must be in [1, {layer.kernel_size}], "
+                f"got {stripe_height}"
+            )
         if ifmaps.shape != layer.in_shape:
             raise WorkloadError(
                 f"{layer.name}: ifmaps shape {ifmaps.shape} does not match {layer.in_shape}"
@@ -168,8 +191,10 @@ class FunctionalChainSimulator:
         padded = pad_input(ifmaps, layer.padding)
 
         if self.backend == "both":
-            scalar = self._run_backend("scalar", layer, padded, weights, mapping)
-            result = self._run_backend("vectorized", layer, padded, weights, mapping)
+            scalar = self._run_backend("scalar", layer, padded, weights, mapping,
+                                       stripe_height)
+            result = self._run_backend("vectorized", layer, padded, weights, mapping,
+                                       stripe_height)
             if not np.array_equal(scalar.ofmaps, result.ofmaps):
                 raise SimulationError(
                     f"{layer.name}: vectorized functional backend diverges from "
@@ -182,14 +207,16 @@ class FunctionalChainSimulator:
                     f"the scalar path ({result.stats} != {scalar.stats})"
                 )
             return result
-        return self._run_backend(self.backend, layer, padded, weights, mapping)
+        return self._run_backend(self.backend, layer, padded, weights, mapping,
+                                 stripe_height)
 
     def _run_backend(self, backend: str, layer: ConvLayer, padded: np.ndarray,
-                     weights: np.ndarray, mapping: LayerMapping) -> FunctionalRunResult:
+                     weights: np.ndarray, mapping: LayerMapping,
+                     stripe_height: int) -> FunctionalRunResult:
         """One backend's simulation of an already-validated layer."""
         if backend == "vectorized":
             ofmaps = vectorized_layer_ofmaps(layer, padded, weights)
-            per_pair = pair_window_stats(layer)
+            per_pair = pair_window_stats(layer, stripe_height)
             pairs = layer.channel_pairs()
             stats = FunctionalRunStats(
                 windows_evaluated=per_pair.windows_evaluated * pairs,
@@ -215,6 +242,7 @@ class FunctionalChainSimulator:
                             weights[m, c_local],
                             ofmaps[m],
                             stats,
+                            stripe_height,
                         )
 
         if stats.pairs_processed != mapping.channel_pairs:

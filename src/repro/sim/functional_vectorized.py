@@ -59,16 +59,19 @@ class PairWindowStats:
     windows_kept: int
 
 
-def pair_window_stats(layer: ConvLayer) -> PairWindowStats:
+def pair_window_stats(layer: ConvLayer,
+                      stripe_height: int | None = None) -> PairWindowStats:
     """Closed-form counters for one channel pair of ``layer``.
 
-    Mirrors the scalar pair loop: stripe bases step ``K`` over the stride-1
-    output rows; a stripe of ``rows`` input rows streams ``rows * width``
-    pixels over ``K * (width - 1) + rows`` timestamps and completes
+    Mirrors the scalar pair loop: stripe bases step ``stripe_height``
+    (default ``K``, the paper's full stripe) over the stride-1 output rows; a
+    stripe of ``rows`` input rows streams ``rows * width`` pixels over
+    ``K * (width - 1) + rows`` timestamps and completes
     ``(rows - K + 1) * (width - K + 1)`` valid windows; the stride filter
     keeps the windows on the stride grid that map inside the ofmap.
     """
     k = layer.kernel_size
+    height = k if stripe_height is None else stripe_height
     padded_h = layer.padded_height
     padded_w = layer.padded_width
 
@@ -76,8 +79,8 @@ def pair_window_stats(layer: ConvLayer) -> PairWindowStats:
     pixels = 0
     cycles = 0
     evaluated = 0
-    for base in range(0, padded_h - k + 1, k):
-        rows = min(2 * k - 1, padded_h - base)
+    for base in range(0, padded_h - k + 1, height):
+        rows = min(height + k - 1, padded_h - base)
         stripes += 1
         pixels += rows * padded_w
         cycles += k * (padded_w - 1) + rows

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -138,7 +138,8 @@ class FunctionalNetworkRunner:
             return activations
         return choose_format(activations, self.total_bits).quantize(activations)
 
-    def run(self, network: Network) -> NetworkRunResult:
+    def run(self, network: Network,
+            stripe_heights: Optional[Dict[str, int]] = None) -> NetworkRunResult:
         """Propagate quantised activations through ``network`` and verify.
 
         Every conv layer's simulated ofmaps are compared against the im2col
@@ -146,6 +147,12 @@ class FunctionalNetworkRunner:
         recorded per stage rather than raised, so one report covers the whole
         network.  Layers after the first fully connected layer are not
         simulated (the chain only accelerates convolutions).
+
+        ``stripe_heights`` optionally maps layer names to searched stripe
+        heights (:meth:`repro.mapping.OptimizedSchedule.stripe_heights`), so
+        whole-network verification exercises the exact stripe plans an
+        optimised schedule would execute; unlisted layers use the paper's
+        full ``K``-row stripes.
         """
         result = NetworkRunResult(
             network=network.name,
@@ -183,7 +190,10 @@ class FunctionalNetworkRunner:
                     f"but the previous stage produced {activations.shape}"
                 )
             weights = self._quantize(generator.weights(layer))
-            run = self.simulator.run_layer(layer, activations, weights)
+            run = self.simulator.run_layer(
+                layer, activations, weights,
+                stripe_height=(stripe_heights or {}).get(layer.name),
+            )
             error = run.max_abs_error_vs_reference(activations, weights)
             result.stages.append(StageReport(
                 name=layer.name,

@@ -240,6 +240,65 @@ class TestGridCommands:
         assert "1 hits" in second
 
 
+class TestNetworksCommand:
+    def test_lists_the_zoo(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "vgg16" in out and "MACs/image" in out
+
+    def test_json_statistics(self, capsys):
+        assert main(["networks", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["alexnet"]["conv_layers"] == 5
+        assert payload["alexnet"]["conv_macs_per_image"] == 665_784_864
+        assert payload["vgg16"]["conv_layers"] == 13
+        assert payload["lenet5"]["total_weights"] > payload["lenet5"]["conv_weights"]
+
+
+class TestMapCommand:
+    def test_map_lenet_exhaustive(self, capsys):
+        assert main(["map", "--network", "lenet5", "--objective", "latency",
+                     "--strategy", "exhaustive", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "objective=latency" in out and "baseline" in out
+
+    def test_map_json_with_verification(self, capsys):
+        assert main(["map", "--network", "lenet5", "--objective", "throughput",
+                     "--strategy", "exhaustive", "--batch", "4", "--verify",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["objective_value"] <= payload["baseline_objective_value"]
+        assert payload["verification"]["passed"]
+        assert len(payload["layers"]) == 2
+
+    def test_map_anneal_is_seed_deterministic(self, capsys):
+        args = ["map", "--network", "lenet5", "--objective", "energy",
+                "--strategy", "anneal", "--batch", "4", "--seed", "3",
+                "--iterations", "32", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_map_rejects_inapplicable_strategy_knobs(self, capsys):
+        assert main(["map", "--network", "lenet5", "--strategy", "exhaustive",
+                     "--iterations", "500"]) == 2
+        assert "--iterations" in capsys.readouterr().err
+        assert main(["map", "--network", "lenet5", "--strategy", "greedy",
+                     "--samples", "9"]) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_map_uses_the_search_cache(self, capsys, tmp_path):
+        args = ["map", "--network", "lenet5", "--objective", "latency",
+                "--strategy", "exhaustive", "--batch", "4",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cached" in capsys.readouterr().out
+
+
 class TestCacheCommands:
     def test_stats_and_clear(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.cnn.layer import ConvLayer
@@ -65,6 +67,87 @@ class TestLayerMapper:
     def test_describe(self, mapper, alexnet_network):
         text = mapper.map_layer(alexnet_network.conv_layer("conv1")).describe()
         assert "conv1" in text and "primitives" in text
+
+
+class TestLayerMapperEdgeCases:
+    """Mapper edge cases: oversized kernels, kMemory refills, grouped convs."""
+
+    def test_kernel_area_exceeding_every_chain_size(self):
+        # K^2 > P must raise for any chain shorter than the kernel area,
+        # including the off-by-one boundary (P == K^2 - 1)
+        layer = ConvLayer("k5", 1, 1, 16, 16, kernel_size=5)
+        for pes in (1, 8, 24):
+            with pytest.raises(MappingError):
+                LayerMapper(ChainConfig(num_pes=pes)).map_layer(layer)
+        mapping = LayerMapper(ChainConfig(num_pes=25)).map_layer(layer)
+        assert mapping.active_primitives == 1
+        assert mapping.spatial_utilization == 1.0
+
+    def test_kmemory_refill_paths(self, alexnet_network):
+        # conv3 needs 1536 weights/PE against a 256-word kMemory: chunking
+        # the kernel stream changes the refill count but never the total
+        # one-weight-per-cycle load volume
+        layer = alexnet_network.conv_layer("conv3")
+        mapper = LayerMapper(ChainConfig())
+        full = mapper.map_layer_with(layer)
+        assert (full.kernel_chunk, full.kmemory_refills) == (256, 6)
+        halved = mapper.map_layer_with(layer, kernel_chunk=128)
+        assert (halved.kernel_chunk, halved.kmemory_refills) == (128, 12)
+        single = mapper.map_layer_with(layer, kernel_chunk=1)
+        assert single.kmemory_refills == single.passes
+        assert full.kernel_load_cycles == halved.kernel_load_cycles \
+            == single.kernel_load_cycles == layer.weight_count
+
+    def test_kernel_chunk_validation(self, mapper, alexnet_network):
+        layer = alexnet_network.conv_layer("conv3")
+        for chunk in (0, -1, 257):
+            with pytest.raises(MappingError):
+                mapper.map_layer_with(layer, kernel_chunk=chunk)
+
+    def test_chunk_capped_by_weights_per_pe(self, mapper):
+        # a layer whose weights fit easily: the effective chunk is the
+        # per-PE weight demand, not the full kMemory capacity
+        layer = ConvLayer("fits", 8, 8, 16, 16, kernel_size=3, padding=1)
+        mapping = mapper.map_layer_with(layer, kernel_chunk=256)
+        assert mapping.kernel_chunk == mapping.passes
+        assert mapping.kmemory_refills == 1
+
+    def test_grouped_conv_pass_accounting(self, mapper, grouped_layer):
+        # groups halve the channel pairs: M * C/g, not M * C
+        mapping = mapper.map_layer(grouped_layer)
+        assert mapping.channel_pairs == 4 * 2
+        # and passes follow the reduced pair count at any primitive budget
+        narrowed = mapper.map_layer_with(grouped_layer, primitives=3)
+        assert narrowed.passes == math.ceil(8 / 3)
+        assert narrowed.active_primitives == 3
+        assert narrowed.active_pes == 3 * 9
+
+    def test_alexnet_grouped_layers_halve_pairs(self, mapper, alexnet_network):
+        conv2 = alexnet_network.conv_layer("conv2")   # groups=2
+        conv3 = alexnet_network.conv_layer("conv3")   # groups=1
+        assert mapper.map_layer(conv2).channel_pairs == 256 * 48
+        assert mapper.map_layer(conv3).channel_pairs == 384 * 256
+        # kernel loading covers all groups' weights exactly once
+        assert mapper.map_layer(conv2).kernel_load_cycles == conv2.weight_count
+
+    def test_primitive_override_validation(self, mapper, alexnet_network):
+        layer = alexnet_network.conv_layer("conv1")  # K=11 -> at most 4
+        for primitives in (0, -2, 5):
+            with pytest.raises(MappingError):
+                mapper.map_layer_with(layer, primitives=primitives)
+        narrowed = mapper.map_layer_with(layer, primitives=2)
+        assert narrowed.active_primitives == 2
+        assert narrowed.passes == math.ceil(288 / 2)
+
+    def test_stripe_height_override(self, mapper, alexnet_network):
+        layer = alexnet_network.conv_layer("conv3")  # E=13, K=3
+        shorter = mapper.map_layer_with(layer, stripe_height=2)
+        assert shorter.stripe_height == 2
+        assert shorter.stripes_per_pair == [2, 2, 2, 2, 2, 2, 1]
+        with pytest.raises(MappingError):
+            mapper.map_layer_with(layer, stripe_height=4)
+        with pytest.raises(MappingError):
+            mapper.map_layer_with(layer, stripe_height=0)
 
 
 class TestDataflowPlanner:
