@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import platform
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: repo root (this file lives in benchmarks/)
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -20,12 +20,29 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SCHEMA = "repro-bench/1"
 
 
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident-set size of this process in MB (``None`` off-POSIX).
+
+    ``ru_maxrss`` is the lifetime high-water mark, which is exactly the
+    number a memory regression in any earlier benchmark phase would move;
+    Linux reports it in KiB, macOS in bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 if platform.system() != "Darwin" else 1024.0 * 1024.0
+    return peak / scale
+
+
 def record_benchmark(name: str, payload: Dict[str, Any]) -> Path:
     """Write ``BENCH_<name>.json`` at the repo root; returns the path.
 
-    ``payload`` must be JSON-serialisable; the helper adds the schema tag and
-    the Python/platform fingerprint so absolute numbers can be judged in
-    context when machines differ between runs.
+    ``payload`` must be JSON-serialisable; the helper adds the schema tag,
+    the Python/platform fingerprint and the process's peak RSS so absolute
+    numbers (and memory regressions) can be judged in context when machines
+    differ between runs.
     """
     if not name or any(char in name for char in "/\\"):
         raise ValueError(f"benchmark name must be a plain identifier, got {name!r}")
@@ -34,6 +51,7 @@ def record_benchmark(name: str, payload: Dict[str, Any]) -> Path:
         "name": name,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "peak_rss_mb": peak_rss_mb(),
         **payload,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"

@@ -28,11 +28,17 @@ writing any Python:
   schedules and optionally ``--verify`` every searched mapping against the
   im2col golden reference;
 * ``networks``    — list the network zoo with per-network layer counts,
-  MACs and parameter totals.
+  MACs and parameter totals;
+* ``bench``       — run a registered benchmark (``sweep``, ``cycle``,
+  ``functional``, ``mapping``, ``parallel`` or ``all``) and write its
+  ``BENCH_*.json`` trajectory record.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
-instantiations can be explored from the shell.  All evaluation dispatches
-through the unified engine layer (:mod:`repro.engine`).
+instantiations can be explored from the shell; ``run``/``sweep``/``map``/
+``verify`` additionally take ``--workers`` to fan work over the persistent
+shared-memory parallel runtime (:mod:`repro.runtime`) with bit-identical
+results.  All evaluation dispatches through the unified engine layer
+(:mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -126,6 +132,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"error: --mode {args.mode} conflicts with --engine {args.engine}",
                   file=sys.stderr)
             return 2
+    if args.workers is not None:
+        # only the functional simulator decomposes a single evaluation into
+        # parallel ofmap-block tasks; other engines evaluate one closed form
+        if args.engine != "functional-vectorized":
+            print("error: --workers applies to --engine functional-vectorized "
+                  f"only, not {args.engine}", file=sys.stderr)
+            return 2
+        engine_kwargs["workers"] = args.workers
     engine = create_engine(args.engine, **engine_kwargs)
     record = engine.evaluate(network, config, batch=args.batch)
 
@@ -219,11 +233,12 @@ def _grid_result_payload(args: argparse.Namespace, engine: str, result,
 
 def cmd_sweep_grid(args: argparse.Namespace) -> int:
     """Dense-grid sweep through the columnar batch path."""
-    if getattr(args, "parallel", False) or getattr(args, "jobs", None):
+    if (getattr(args, "parallel", False) or getattr(args, "jobs", None)
+            or getattr(args, "workers", None)):
         # grids run through the columnar evaluate_batch path (serial by
         # design: the fast path is array arithmetic, the fallback a per-point
         # loop); refusing beats silently ignoring the requested workers
-        print("error: --parallel/--jobs apply to axis sweeps only; "
+        print("error: --parallel/--jobs/--workers apply to axis sweeps only; "
               "--grid evaluates through the columnar batch path", file=sys.stderr)
         return 2
     # the columnar engines are numerically identical to their scalar
@@ -285,13 +300,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     if args.grid is not None:
         return cmd_sweep_grid(args)
+    if args.workers is not None and args.jobs is not None:
+        print("error: give either --workers or its legacy alias --jobs, not both",
+              file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else args.jobs
+    args.parallel = args.parallel or args.workers is not None
     explorer = DesignSpaceExplorer(
         get_network(args.network),
         batch=args.batch,
         engine=args.engine,
         cache=_cache_from_args(args),
         parallel=args.parallel,
-        max_workers=args.jobs,
+        max_workers=workers,
     )
     base = _config_from_args(args)
     if args.axis == "pes":
@@ -351,6 +372,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     if args.sim == "functional":
         return _verify_functional(args)
+    if args.workers is not None:
+        print("error: --workers applies to --sim functional only (the cycle "
+              "cross-check runs tiny layers where fan-out cannot pay off)",
+              file=sys.stderr)
+        return 2
     if args.network != "tiny":
         print("error: --network applies to --sim functional only (the scalar "
               "cycle cross-check is limited to the tiny network)", file=sys.stderr)
@@ -449,6 +475,7 @@ def cmd_map(args: argparse.Namespace) -> int:
         strategy=make_strategy(args.strategy, **strategy_kwargs),
         batch=args.batch,
         cache=_cache_from_args(args),
+        workers=args.workers,
     )
     network = get_network(args.network)
     schedule = optimizer.optimize(network)
@@ -489,6 +516,65 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+#: registered benchmarks: name -> pytest files that measure it and write
+#: ``BENCH_<name>.json`` at the repo root (run from a repo checkout)
+BENCHMARKS = {
+    "sweep": ("benchmarks/bench_batch_sweep.py",),
+    "cycle": ("benchmarks/bench_vectorized_cycle.py",),
+    "functional": ("benchmarks/bench_functional.py",),
+    "mapping": ("benchmarks/bench_mapping.py",),
+    "parallel": ("benchmarks/bench_parallel.py",),
+}
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered benchmarks and write their ``BENCH_*.json`` records.
+
+    ``repro bench <name>`` replaces the ad-hoc per-file pytest invocations
+    CI used to carry: it locates the benchmark files relative to the
+    installed sources, runs them through pytest (``--timing`` enables the
+    pytest-benchmark timing loop; the default smoke pass only asserts the
+    qualitative claims and records the measured numbers) and reports where
+    the trajectory JSON landed.
+    """
+    import subprocess
+    from pathlib import Path
+
+    import repro
+
+    src_dir = Path(repro.__file__).resolve().parent.parent
+    repo_root = src_dir.parent
+    names = sorted(BENCHMARKS) if args.name == "all" else [args.name]
+    for name in names:
+        paths = [repo_root / path for path in BENCHMARKS[name]]
+        missing = [str(path) for path in paths if not path.is_file()]
+        if missing:
+            print(f"error: benchmark files not found: {', '.join(missing)} "
+                  "(repro bench needs a repository checkout)", file=sys.stderr)
+            return 2
+        command = [sys.executable, "-m", "pytest",
+                   *[str(path) for path in paths], "-q"]
+        if not args.timing:
+            command.append("--benchmark-disable")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        print(f"[bench {name}] {' '.join(command[2:])}")
+        outcome = subprocess.run(command, env=env, cwd=repo_root)
+        if outcome.returncode != 0:
+            print(f"error: benchmark {name!r} failed "
+                  f"(exit {outcome.returncode})", file=sys.stderr)
+            return outcome.returncode
+        record = repo_root / f"BENCH_{name}.json"
+        if record.is_file():
+            print(f"[bench {name}] wrote {record}")
+        else:  # pragma: no cover - benchmark contract violation
+            print(f"warning: benchmark {name!r} did not write {record}",
+                  file=sys.stderr)
+    return 0
+
+
 def _verify_functional(args: argparse.Namespace) -> int:
     """Whole-network dataflow verification through the functional simulator.
 
@@ -500,10 +586,15 @@ def _verify_functional(args: argparse.Namespace) -> int:
     network = (tiny_test_network() if args.network == "tiny"
                else get_network(args.network))
     backend = args.backend or ("both" if args.network == "tiny" else "vectorized")
-    runner = FunctionalNetworkRunner(
-        _config_from_args(args), backend=backend, seed=args.seed
-    )
-    result = runner.run(network)
+    if args.workers is not None and backend != "vectorized":
+        print(f"error: --workers requires the vectorized backend, not {backend}",
+              file=sys.stderr)
+        return 2
+    with FunctionalNetworkRunner(
+        _config_from_args(args), backend=backend, seed=args.seed,
+        workers=args.workers,
+    ) as runner:
+        result = runner.run(network)
     print(result.describe())
     return 0 if result.passed else 1
 
@@ -533,6 +624,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine to dispatch through")
     run.add_argument("--json", action="store_true", help="emit the run record as JSON")
     run.add_argument("--traffic", action="store_true", help="also print the traffic table")
+    run.add_argument("--workers", type=_positive_int, default=None,
+                     help="worker processes for the functional-vectorized "
+                          "engine's per-layer ofmap blocks (default: serial)")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate every paper table and figure")
@@ -588,9 +682,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also report the top-K points by --metric")
     sweep.add_argument("--parallel", action="store_true",
                        help="evaluate design points in worker processes")
+    sweep.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker processes for axis sweeps (implies "
+                            "--parallel; default: CPU cores)")
     sweep.add_argument("--jobs", type=_positive_int, default=None,
-                       help="worker processes for --parallel "
-                            "(default: min(points, CPU cores))")
+                       help="legacy alias of --workers (only sets the count "
+                            "when --parallel is given)")
 
     pareto = sub.add_parser("pareto",
                             help="grid sweep reduced to its Pareto frontier "
@@ -634,6 +731,9 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--verify", action="store_true",
                          help="functionally verify every searched mapping "
                               "against the im2col golden reference")
+    map_cmd.add_argument("--workers", type=_positive_int, default=None,
+                         help="fan per-layer searches over this many worker "
+                              "processes (bit-identical to serial search)")
     map_cmd.add_argument("--json", action="store_true",
                          help="emit the optimised schedule as JSON")
     map_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -659,6 +759,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulator backend (default: cross-check both; "
                              "functional verification of zoo networks defaults "
                              "to the vectorized fast path)")
+    verify.add_argument("--workers", type=_positive_int, default=None,
+                        help="worker processes for --sim functional ofmap "
+                             "blocks (bit-identical to the serial path)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a registered benchmark and write its BENCH_*.json record",
+    )
+    bench.add_argument("name", choices=sorted(BENCHMARKS) + ["all"],
+                       help="benchmark to run (or 'all')")
+    bench.add_argument("--timing", action="store_true",
+                       help="enable the pytest-benchmark timing loop instead "
+                            "of the smoke pass")
 
     return parser
 
@@ -677,6 +790,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": cmd_verify,
         "map": cmd_map,
         "networks": cmd_networks,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -364,11 +364,25 @@ class FunctionalEngine(Engine):
     the cycle simulator.
     """
 
-    def __init__(self, seed: int = 2017, backend: str = "scalar") -> None:
+    def __init__(self, seed: int = 2017, backend: str = "scalar",
+                 workers: Optional[int] = None) -> None:
         self.seed = seed
         self.backend = backend
         self.name = "functional" if backend == "scalar" else f"functional-{backend}"
         self._memo: Dict[str, Dict[str, Any]] = {}
+        #: fan ofmap blocks over this many workers (vectorized backend only);
+        #: results are bit-identical serial or parallel, so the worker count
+        #: deliberately stays out of the engine fingerprint
+        self.workers = workers
+        from repro.runtime import LazyRuntime
+
+        self._pool = LazyRuntime(workers)
+
+    def _runtime(self):
+        """The engine's persistent pool, or ``None`` for the serial path."""
+        if self.workers is None or self.workers <= 1 or self.backend != "vectorized":
+            return None
+        return self._pool.get()
 
     def _simulate(self, network: Network, config: ChainConfig) -> Dict[str, Any]:
         memo_key = canonical_json({
@@ -379,13 +393,18 @@ class FunctionalEngine(Engine):
             return self._memo[memo_key]
         simulator = FunctionalChainSimulator(config, backend=self.backend)
         generator = WorkloadGenerator(seed=self.seed)
+        runtime = self._runtime()
         layers: Dict[str, Dict[str, float]] = {}
         chain_cycles = 0.0
         windows_kept = 0
         max_error = 0.0
         for layer in network.conv_layers:
             ifmaps, weights = generator.layer_pair(layer)
-            result = simulator.run_layer(layer, ifmaps, weights)
+            if runtime is not None:
+                result = simulator.run_layer_parallel(layer, ifmaps, weights,
+                                                      runtime)
+            else:
+                result = simulator.run_layer(layer, ifmaps, weights)
             error = result.max_abs_error_vs_reference(ifmaps, weights)
             chain_cycles += result.chain_cycles_estimate
             windows_kept += result.stats.windows_kept

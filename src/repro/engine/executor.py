@@ -8,26 +8,33 @@ engine, with two orthogonal accelerations:
   :mod:`repro.engine.cache`); cached points are served from disk without
   touching the engine, so re-running a sweep after adding one point only
   evaluates the new point;
-* **parallelism** — uncached points are fanned out over a
-  ``ProcessPoolExecutor``.  Workers rebuild the engine from its registry name
-  (engines themselves are not shipped across the process boundary), which
-  keeps the payload small and fork/spawn agnostic.  When a pool cannot be
-  created (restricted sandboxes, missing semaphores) the executor silently
-  degrades to the serial path — results are identical either way, only the
-  wall-clock differs.
+* **parallelism** — uncached points are fanned out over the **persistent**
+  :class:`~repro.runtime.ParallelRuntime`.  Workers are created once per
+  executor and reused across calls: each worker caches its engine (rebuilt
+  from the registry name, so engines themselves never cross the process
+  boundary) and the broadcast network, which means a follow-up sweep on the
+  same executor pays neither pool construction nor network pickling again.
+  When a pool cannot be created (restricted sandboxes, missing semaphores)
+  the executor silently degrades to the serial path — results are identical
+  either way, only the wall-clock differs.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.engine.base import Engine, RunRecord
-from repro.engine.cache import RunCache, grid_key, run_key
+from repro.engine.cache import (
+    RunCache,
+    canonical_json,
+    grid_key,
+    run_key,
+    workload_fingerprint,
+)
 from repro.engine.registry import create_engine
+from repro.runtime import LazyRuntime, ParallelRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.analysis.batch import BatchSweepResult, DesignGrid
@@ -36,13 +43,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 #: is under 1 MB, so a chunk's whole working set stays cache-resident while
 #: still amortising the per-chunk constant-folding overhead
 GRID_CHUNK_POINTS = 8192
-
-
-def _evaluate_point(engine_name: str, engine_kwargs: Dict, network: Network,
-                    config: Optional[ChainConfig], batch: int) -> RunRecord:
-    """Worker entry point: rebuild the engine by name and evaluate one point."""
-    engine = create_engine(engine_name, **engine_kwargs)
-    return engine.evaluate(network, config, batch)
 
 
 class SweepExecutor:
@@ -80,6 +80,13 @@ class SweepExecutor:
         self.batch = batch
         self.cache = cache
         self.max_workers = max_workers
+        #: persistent worker pool, created lazily on the first parallel call
+        #: and reused for the executor's lifetime
+        self._pool = LazyRuntime(max_workers)
+        #: network fingerprints already broadcast, per live pool instance
+        #: (a replaced pool has fresh workers that know no networks)
+        self._broadcast: set = set()
+        self._broadcast_pool: Optional[ParallelRuntime] = None
 
     # ------------------------------------------------------------------ #
     # engine access
@@ -90,6 +97,27 @@ class SweepExecutor:
         if self._engine is None:
             self._engine = create_engine(self.engine_name, **self.engine_kwargs)
         return self._engine
+
+    # ------------------------------------------------------------------ #
+    # runtime lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the persistent workers (idempotent; serial use needs none)."""
+        self._pool.close()
+        self._broadcast = set()
+        self._broadcast_pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -215,27 +243,30 @@ class SweepExecutor:
         parallel: bool,
     ) -> List[RunRecord]:
         if parallel and self._parallelizable and len(pending) > 1:
-            pool = self._make_pool(len(pending))
-            if pool is not None:
-                # evaluation errors (worker crashes, engine bugs) propagate:
-                # only a missing pool degrades to the serial path
-                with pool:
-                    futures = [
-                        pool.submit(_evaluate_point, self.engine_name,
-                                    self.engine_kwargs, network, config, batch)
-                        for _, config, batch in pending
-                    ]
-                    return [future.result() for future in futures]
+            runtime = self._pool.get(task_hint=len(pending))
+            if runtime is not None:
+                # evaluation errors (worker crashes, engine bugs) propagate
+                # as WorkerError: only a missing pool degrades to serial
+                if runtime is not self._broadcast_pool:
+                    self._broadcast = set()
+                    self._broadcast_pool = runtime
+                fingerprint = canonical_json(workload_fingerprint(network))
+                if fingerprint not in self._broadcast:
+                    runtime.broadcast("sweep.set_network",
+                                      {"fingerprint": fingerprint,
+                                       "network": network})
+                    self._broadcast.add(fingerprint)
+                return runtime.map("sweep.point", [
+                    {
+                        "engine": self.engine_name,
+                        "engine_kwargs": self.engine_kwargs,
+                        "network_fingerprint": fingerprint,
+                        "config": config,
+                        "batch": batch,
+                    }
+                    for _, config, batch in pending
+                ])
         return [
             self.engine.evaluate(network, config, batch)
             for _, config, batch in pending
         ]
-
-    def _make_pool(self, pending_count: int) -> Optional[ProcessPoolExecutor]:
-        """A process pool, or ``None`` where the platform cannot provide one."""
-        workers = self.max_workers or min(pending_count, os.cpu_count() or 1)
-        try:
-            return ProcessPoolExecutor(max_workers=workers)
-        except (OSError, ValueError, RuntimeError, ImportError):
-            # restricted sandboxes (no semaphores / fork) — degrade to serial
-            return None

@@ -132,6 +132,11 @@ class LayerMapSpace:
         self.max_primitives = self.config.num_pes // kernel_area
         self.kmemory_capacity = self.config.kmemory_words_per_pe
         self.channel_pairs = layer.channel_pairs()
+        # plateau walks are pure functions of the (immutable) layer geometry;
+        # memoising them turns the annealer's and beam search's candidate
+        # generation from repeated Python loops into dict lookups
+        self._pruned_primitives: Optional[List[int]] = None
+        self._pruned_chunks: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------ #
     # individual candidates
@@ -184,6 +189,8 @@ class LayerMapSpace:
         ``ceil(Q/p)`` plateau dominates the rest of it — the plateau walk
         visits O(sqrt(Q)) values instead of all ``max_primitives``.
         """
+        if self._pruned_primitives is not None:
+            return self._pruned_primitives
         q = self.channel_pairs
         values: List[int] = []
         p = 1
@@ -196,7 +203,8 @@ class LayerMapSpace:
             p = (q - 1) // (passes - 1) + 1
         if self.max_primitives not in values:
             values.append(self.max_primitives)
-        return sorted(values)
+        self._pruned_primitives = sorted(values)
+        return self._pruned_primitives
 
     def pruned_chunks(self, passes: int) -> List[int]:
         """Maximal chunk per distinct refill count (descending).
@@ -204,6 +212,9 @@ class LayerMapSpace:
         Cost depends on ``chunk`` only through ``refills``, so one chunk per
         plateau of ``ceil(passes / chunk)`` covers every distinct cost.
         """
+        cached = self._pruned_chunks.get(passes)
+        if cached is not None:
+            return cached
         chunk = min(self.kmemory_capacity, passes)
         values: List[int] = []
         while chunk >= 1:
@@ -211,6 +222,7 @@ class LayerMapSpace:
             values.append(chunk)
             # smallest chunk still achieving `refills`, then step below it
             chunk = -(-passes // refills) - 1
+        self._pruned_chunks[passes] = values
         return values
 
     def stripe_heights(self) -> List[int]:

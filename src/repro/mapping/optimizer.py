@@ -37,7 +37,6 @@ import numpy as np
 from repro.analysis.batch import MAPPING_RESULT_COLUMNS, MappingBatchEvaluator
 from repro.cnn.generator import WorkloadGenerator
 from repro.cnn.network import Network
-from repro.cnn.reference import conv2d_im2col
 from repro.core.config import ChainConfig
 from repro.energy.components import EnergyParams
 from repro.engine.base import RunRecord
@@ -56,6 +55,7 @@ from repro.mapping.mapspace import (
     candidate_arrays,
 )
 from repro.mapping.strategies import SearchResult, Strategy, make_strategy
+from repro.runtime import LazyRuntime
 from repro.sim.functional import FunctionalChainSimulator
 
 #: objective name -> per-layer proxy column of MAPPING_RESULT_COLUMNS
@@ -89,6 +89,60 @@ def network_objective(objective: str,
     if objective == "energy":
         return energy_j
     return energy_j * time_s
+
+
+def make_layer_scorer(layer, config: ChainConfig, objective: str, batch: int,
+                      energy: EnergyParams):
+    """(evaluator, scorer) for one layer — the single scoring construction.
+
+    Both the serial :meth:`ScheduleOptimizer.search_layer` and the parallel
+    ``map.search_layer`` worker task score through this, so there is exactly
+    one definition of how a candidate list becomes objective values.
+    """
+    evaluator = MappingBatchEvaluator(layer, config=config, batch=batch,
+                                      energy=energy)
+    proxy = OBJECTIVES[objective]
+
+    def scorer(candidates):
+        columns = evaluator.evaluate(*candidate_arrays(list(candidates)))
+        return np.asarray(columns[proxy], dtype=np.float64)
+
+    return evaluator, scorer
+
+
+def search_layer_entry(layer, config: ChainConfig, objective: str,
+                       strategy: Strategy, batch: int, energy: EnergyParams,
+                       shortlist: int) -> Dict[str, Any]:
+    """Search one layer's mapspace and score its shortlist pool.
+
+    This is the per-layer body of :meth:`ScheduleOptimizer.optimize`,
+    factored out so the serial loop and the parallel runtime's
+    ``map.search_layer`` task execute the *same* code on the same inputs —
+    the construction that makes parallel search results bit-identical to
+    serial ones.  Stochastic strategies derive their RNG stream from
+    ``(seed, strategy, layer)`` via ``stable_seed``, so the outcome is
+    independent of which process runs the search.
+    """
+    space = LayerMapSpace(layer, config)
+    evaluator, scorer = make_layer_scorer(layer, config, objective, batch,
+                                          energy)
+    result = strategy.search(space, scorer, shortlist=shortlist)
+    baseline = space.baseline()
+    pool = list(result.candidates)
+    if baseline not in pool:
+        pool.append(baseline)
+    columns = evaluator.evaluate(*candidate_arrays(pool))
+    rows = [
+        {name: float(columns[name][index]) for name in MAPPING_RESULT_COLUMNS}
+        for index in range(len(pool))
+    ]
+    return {
+        "layer_name": layer.name,
+        "evaluations": result.evaluations,
+        "pool": pool,
+        "rows": rows,
+        "baseline": baseline,
+    }
 
 
 @dataclass(frozen=True)
@@ -301,6 +355,7 @@ class ScheduleOptimizer:
         energy: Optional[EnergyParams] = None,
         cache: Optional[RunCache] = None,
         shortlist: int = 4,
+        workers: Optional[int] = None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ConfigurationError(
@@ -310,6 +365,8 @@ class ScheduleOptimizer:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
         if shortlist < 1:
             raise ConfigurationError(f"shortlist must be >= 1, got {shortlist}")
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.config = config or ChainConfig()
         self.objective = objective
         self.strategy = (strategy if isinstance(strategy, Strategy)
@@ -318,34 +375,19 @@ class ScheduleOptimizer:
         self.energy = energy or EnergyParams()
         self.cache = cache
         self.shortlist = shortlist
-
-    # ------------------------------------------------------------------ #
-    # scoring plumbing
-    # ------------------------------------------------------------------ #
-    def _evaluator_for(self, space: LayerMapSpace) -> MappingBatchEvaluator:
-        return MappingBatchEvaluator(space.layer, config=self.config,
-                                     batch=self.batch, energy=self.energy)
-
-    def _metrics_for(self, evaluator: MappingBatchEvaluator,
-                     candidates: List[MappingCandidate]) -> List[Dict[str, float]]:
-        columns = evaluator.evaluate(*candidate_arrays(candidates))
-        return [
-            {name: float(columns[name][index]) for name in MAPPING_RESULT_COLUMNS}
-            for index in range(len(candidates))
-        ]
+        #: per-layer searches fan out over this many worker processes
+        #: (``None``/1 = serial); results are bit-identical either way, so
+        #: the worker count deliberately stays out of the cache fingerprint
+        self.workers = workers
+        self._pool = LazyRuntime(workers)
 
     # ------------------------------------------------------------------ #
     # search
     # ------------------------------------------------------------------ #
     def search_layer(self, space: LayerMapSpace) -> SearchResult:
         """Run the configured strategy over one layer's space."""
-        evaluator = self._evaluator_for(space)
-        proxy = OBJECTIVES[self.objective]
-
-        def scorer(candidates):
-            columns = evaluator.evaluate(*candidate_arrays(list(candidates)))
-            return np.asarray(columns[proxy], dtype=np.float64)
-
+        _, scorer = make_layer_scorer(space.layer, self.config, self.objective,
+                                      self.batch, self.energy)
         return self.strategy.search(space, scorer, shortlist=self.shortlist)
 
     def optimize(self, network: Network) -> OptimizedSchedule:
@@ -372,27 +414,54 @@ class ScheduleOptimizer:
             ))
         return schedule
 
+    def _search_all_layers(self, network: Network) -> List[Dict[str, Any]]:
+        """One :func:`search_layer_entry` result per conv layer, in order.
+
+        Per-layer searches are independent (stochastic strategies seed from
+        ``(seed, strategy, layer)``), so they fan out over the parallel
+        runtime when ``workers`` asks for it; the serial loop runs the exact
+        same entry function, so both paths return bit-identical results.
+        Platforms without process pools degrade to the serial loop.
+        """
+        layers = network.conv_layers
+        if self.workers is not None and self.workers > 1 and len(layers) > 1:
+            runtime = self._pool.get(task_hint=len(layers))
+            if runtime is not None:
+                payloads = [
+                    {
+                        "layer": layer,
+                        "config": self.config,
+                        "objective": self.objective,
+                        "strategy": self.strategy,
+                        "batch": self.batch,
+                        "energy": self.energy,
+                        "shortlist": self.shortlist,
+                    }
+                    for layer in layers
+                ]
+                return runtime.map("map.search_layer", payloads)
+        return [
+            search_layer_entry(layer, self.config, self.objective,
+                               self.strategy, self.batch, self.energy,
+                               self.shortlist)
+            for layer in layers
+        ]
+
     def _optimize_uncached(self, network: Network) -> OptimizedSchedule:
-        mapspace = MapSpace(network, self.config)
+        MapSpace(network, self.config)  # raises early on unmappable networks
         shortlists: List[List[MappingCandidate]] = []
         metric_cache: List[Dict[MappingCandidate, Dict[str, float]]] = []
         baseline_rows: List[LayerSchedule] = []
         evaluations = 0
-        for space in mapspace:
-            evaluator = self._evaluator_for(space)
-            result = self.search_layer(space)
-            evaluations += result.evaluations
-            baseline_candidate = space.baseline()
-            pool = list(result.candidates)
-            if baseline_candidate not in pool:
-                pool.append(baseline_candidate)
-            rows = self._metrics_for(evaluator, pool)
-            metric_cache.append(dict(zip(pool, rows)))
+        for entry in self._search_all_layers(network):
+            evaluations += entry["evaluations"]
+            pool = entry["pool"]
+            metric_cache.append(dict(zip(pool, entry["rows"])))
             shortlists.append(pool)
             baseline_rows.append(LayerSchedule(
-                layer_name=space.layer.name,
-                candidate=baseline_candidate,
-                metrics=metric_cache[-1][baseline_candidate],
+                layer_name=entry["layer_name"],
+                candidate=entry["baseline"],
+                metrics=metric_cache[-1][entry["baseline"]],
             ))
 
         # assembly: start from the baseline, adopt a shortlisted candidate

@@ -20,19 +20,42 @@ the determinism CI relies on.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, replace
-from typing import Any, Callable, Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cnn.generator import stable_seed
 from repro.errors import ConfigurationError
-from repro.mapping.mapspace import INTERLEAVES, LayerMapSpace, MappingCandidate
+from repro.mapping.mapspace import (
+    INTERLEAVES,
+    LayerMapSpace,
+    MappingCandidate,
+    candidate_arrays,
+)
 
 #: strategy registry names accepted by :func:`make_strategy` and the CLI
 STRATEGIES = ("exhaustive", "random", "greedy", "anneal")
 
 Scorer = Callable[[Sequence[MappingCandidate]], np.ndarray]
+
+
+def _pack_keys(space: LayerMapSpace, primitives: np.ndarray,
+               heights: np.ndarray, chunks: np.ndarray,
+               image: np.ndarray) -> np.ndarray:
+    """Bijective int64 key per candidate (the vectorized dedup currency).
+
+    The radices come from the space's bounds (``primitives <=
+    max_primitives``, ``stripe_height <= K``, ``chunk <= kmemory
+    capacity``), so distinct candidates always pack to distinct keys and
+    array-level ``np.unique`` / ``np.isin`` replace per-candidate set
+    membership tests.
+    """
+    radix_h = space.layer.kernel_size + 1
+    radix_c = space.kmemory_capacity + 1
+    keys = primitives.astype(np.int64) * radix_h + heights.astype(np.int64)
+    keys = keys * radix_c + chunks.astype(np.int64)
+    return keys * 2 + image.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -55,9 +78,37 @@ class SearchResult:
 
 
 def _shortlist(candidates: Sequence[MappingCandidate], scores: np.ndarray,
-               k: int, evaluations: int) -> SearchResult:
-    """Deduplicated best-first shortlist of scored candidates."""
+               k: int, evaluations: int,
+               space: Optional[LayerMapSpace] = None,
+               unique: bool = False) -> SearchResult:
+    """Deduplicated best-first shortlist of scored candidates.
+
+    ``unique=True`` asserts the caller's candidates are already distinct
+    (pruned enumeration yields each mapping exactly once), so the shortlist
+    is a plain stable argsort head.  Otherwise, with a ``space``, the dedup
+    runs columnar: candidates pack to int64 keys and one ``np.unique`` finds
+    each key's best-scored (first, under the stable score order) occurrence
+    — no per-candidate hashing.  Without a space (no packing radices) the
+    per-candidate walk is kept; all paths pick the identical shortlist.
+    """
     order = np.argsort(scores, kind="stable")
+    if unique:
+        picked_indices = order[:k]
+        return SearchResult(
+            candidates=[candidates[int(i)] for i in picked_indices],
+            scores=[float(scores[int(i)]) for i in picked_indices],
+            evaluations=evaluations,
+        )
+    if space is not None and len(candidates) > 0:
+        columns = candidate_arrays(list(candidates))
+        keys = _pack_keys(space, *columns)[order]
+        _, first = np.unique(keys, return_index=True)
+        picked_indices = order[np.sort(first)[:k]]
+        return SearchResult(
+            candidates=[candidates[int(i)] for i in picked_indices],
+            scores=[float(scores[int(i)]) for i in picked_indices],
+            evaluations=evaluations,
+        )
     picked: List[MappingCandidate] = []
     picked_scores: List[float] = []
     seen = set()
@@ -115,7 +166,10 @@ class ExhaustiveStrategy(Strategy):
             )
         candidates = space.enumerate()
         scores = scorer(candidates)
-        return _shortlist(candidates, scores, shortlist, len(candidates))
+        # the pruned enumeration yields each mapping exactly once, so the
+        # shortlist is a pure argsort head — no dedup pass at all
+        return _shortlist(candidates, scores, shortlist, len(candidates),
+                          space=space, unique=True)
 
     def fingerprint(self) -> Dict[str, Any]:
         return {"name": self.name, "max_candidates": self.max_candidates}
@@ -138,7 +192,8 @@ class RandomStrategy(Strategy):
             stable_seed(self.seed, self.name, space.layer.name))
         candidates = [space.baseline()] + space.sample(rng, self.samples)
         scores = scorer(candidates)
-        return _shortlist(candidates, scores, shortlist, len(candidates))
+        return _shortlist(candidates, scores, shortlist, len(candidates),
+                          space=space)
 
     def fingerprint(self) -> Dict[str, Any]:
         return {"name": self.name, "samples": self.samples, "seed": self.seed}
@@ -162,41 +217,73 @@ class GreedyStrategy(Strategy):
         self.beam = beam
         self.max_sweeps = max_sweeps
 
-    def _dimension_values(self, space: LayerMapSpace, state: MappingCandidate,
-                          dimension: str) -> List[MappingCandidate]:
+    def _dimension_columns(self, space: LayerMapSpace, state: MappingCandidate,
+                           dimension: str) -> Tuple[np.ndarray, ...]:
+        """One state's relaxation of ``dimension`` as candidate columns.
+
+        Returns ``(primitives, stripe_height, chunk, image)`` arrays in the
+        order the old per-candidate ``dataclasses.replace`` loop produced —
+        candidate *objects* are only materialised later, for the deduped
+        fresh pool that actually reaches the scorer.
+        """
         if dimension == "primitives":
-            return [replace(state, primitives=value)
-                    for value in space.pruned_primitives()]
-        if dimension == "stripe_height":
-            return [replace(state, stripe_height=value)
-                    for value in space.stripe_heights()]
-        if dimension == "chunk":
+            values = np.asarray(space.pruned_primitives(), dtype=np.int64)
+        elif dimension == "stripe_height":
+            values = np.arange(1, space.layer.kernel_size + 1, dtype=np.int64)
+        elif dimension == "chunk":
             passes = space.passes_for(state.primitives)
-            return [replace(state, chunk=value)
-                    for value in space.pruned_chunks(passes)]
-        return [replace(state, interleave=value) for value in INTERLEAVES]
+            values = np.asarray(space.pruned_chunks(passes), dtype=np.int64)
+        else:
+            values = np.arange(len(INTERLEAVES), dtype=np.int64)
+        count = len(values)
+        columns = [
+            np.full(count, state.primitives, dtype=np.int64),
+            np.full(count, state.stripe_height, dtype=np.int64),
+            np.full(count, state.chunk, dtype=np.int64),
+            np.full(count, int(state.image_major), dtype=np.int64),
+        ]
+        index = {"primitives": 0, "stripe_height": 1, "chunk": 2,
+                 "interleave": 3}[dimension]
+        columns[index] = values
+        return tuple(columns)
 
     def search(self, space: LayerMapSpace, scorer: Scorer,
                shortlist: int = 4) -> SearchResult:
         states = [space.baseline()]
         best_seen: Dict[MappingCandidate, float] = {}
+        seen_keys = np.empty(0, dtype=np.int64)
         evaluations = 0
         for _ in range(self.max_sweeps):
             improved = False
             for dimension in ("primitives", "stripe_height", "chunk", "interleave"):
-                pool: List[MappingCandidate] = []
-                pooled = set()
-                for state in states:
-                    for candidate in self._dimension_values(space, state, dimension):
-                        if candidate not in best_seen and candidate not in pooled:
-                            pool.append(candidate)
-                            pooled.add(candidate)
-                if not pool:
+                # columnar pool: cross product of beam states x dimension
+                # values as arrays, deduped (within the pool and against
+                # everything already scored) through packed keys instead of
+                # per-candidate set membership
+                per_state = [self._dimension_columns(space, state, dimension)
+                             for state in states]
+                columns = [np.concatenate([cols[i] for cols in per_state])
+                           for i in range(4)]
+                keys = _pack_keys(space, *columns)
+                _, first = np.unique(keys, return_index=True)
+                first = first[~np.isin(keys[first], seen_keys)]
+                first.sort()  # keep the old states-outer, values-inner order
+                if first.size == 0:
                     continue
+                pool = [
+                    MappingCandidate(
+                        primitives=int(columns[0][i]),
+                        stripe_height=int(columns[1][i]),
+                        chunk=int(columns[2][i]),
+                        interleave=INTERLEAVES[int(columns[3][i])],
+                    )
+                    for i in first
+                ]
                 scores = scorer(pool)
                 evaluations += len(pool)
                 for candidate, score in zip(pool, scores):
                     best_seen[candidate] = float(score)
+                seen_keys = np.concatenate([seen_keys, keys[first]])
                 ranked = sorted(best_seen.items(), key=lambda item: item[1])
                 new_states = [candidate for candidate, _ in ranked[:self.beam]]
                 if new_states != states:

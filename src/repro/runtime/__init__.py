@@ -1,0 +1,39 @@
+"""Persistent shared-memory parallel runtime.
+
+``repro.runtime`` is the process-level parallel substrate the evaluate /
+search / verify pipeline runs on:
+
+* :class:`~repro.runtime.pool.ParallelRuntime` — persistent worker
+  processes with per-worker task queues, ordered result assembly, error
+  propagation and graceful serial degradation on platforms without process
+  pools;
+* :class:`~repro.runtime.shm.SharedTensor` — zero-copy shared-memory NumPy
+  tensors (with an inline-pickle fallback), so multi-hundred-MB ifmap /
+  weight / ofmap tensors never cross the process boundary through pickle;
+* :mod:`~repro.runtime.tasks` — the registry of worker-side task functions
+  (sweep point evaluation, per-layer mapping search, ofmap-block
+  simulation), each reusing per-worker cached engines and networks.
+
+Consumers (``SweepExecutor``, ``ScheduleOptimizer``,
+``FunctionalNetworkRunner``) guarantee **bit-identical results** between
+their serial and parallel paths; the runtime only changes wall-clock time.
+"""
+
+from repro.runtime.pool import (
+    LazyRuntime,
+    ParallelRuntime,
+    WorkerError,
+    resolve_workers,
+)
+from repro.runtime.shm import SharedTensor
+from repro.runtime.tasks import TASKS, task
+
+__all__ = [
+    "LazyRuntime",
+    "ParallelRuntime",
+    "SharedTensor",
+    "TASKS",
+    "WorkerError",
+    "resolve_workers",
+    "task",
+]

@@ -1,0 +1,282 @@
+"""Persistent process pool with ordered results and serial degradation.
+
+``ProcessPoolExecutor`` pays its construction cost on every sweep call and
+re-pickles every payload from scratch; :class:`ParallelRuntime` instead keeps
+**persistent workers** alive across calls, so per-worker state (engines,
+simulators, broadcast networks) is built once and reused, and large tensors
+travel through :mod:`repro.runtime.shm` instead of pickle.
+
+Design points:
+
+* **per-worker inboxes** — tasks are assigned round-robin by index, which
+  makes result assembly deterministic and lets :meth:`broadcast` address
+  every worker exactly once (context distribution);
+* **ordered assembly** — :meth:`map` returns results in submission order
+  regardless of completion order;
+* **error propagation** — a task exception is re-raised in the parent as
+  :class:`WorkerError` carrying the worker-side traceback; a *dead* worker
+  (hard crash, ``os._exit``) is detected and reported instead of hanging;
+* **graceful degradation** — :meth:`ParallelRuntime.create` returns ``None``
+  on platforms that cannot provide process pools (missing semaphores,
+  restricted sandboxes); callers fall back to bit-identical serial paths.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import traceback
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.tasks import TASKS
+
+#: seconds between worker-liveness checks while draining results
+_POLL_SECONDS = 0.1
+
+#: seconds to wait for a worker to exit after the shutdown sentinel
+_JOIN_SECONDS = 5.0
+
+
+class WorkerError(RuntimeError):
+    """A task failed (or its worker died) in the parallel runtime."""
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Requested worker count -> effective count (``None`` = CPU count)."""
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _worker_main(worker_id: int, inbox, outbox) -> None:
+    """Worker loop: run registered tasks against a persistent context."""
+    import pickle
+
+    context: Dict[str, Any] = {"worker_id": worker_id}
+    while True:
+        message = inbox.get()
+        if message is None:
+            break
+        task_id, name, payload = message
+        try:
+            fn = TASKS[name]
+            result = fn(payload, context)
+            # the outbox pickles in a feeder thread, where a pickling error
+            # would silently drop the message and hang the parent; failing
+            # here instead routes it through the error path below
+            pickle.dumps(result)
+            outbox.put((worker_id, task_id, True, result))
+        except BaseException as error:  # noqa: BLE001 - forwarded to parent
+            detail = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
+            outbox.put((worker_id, task_id, False, detail))
+
+
+class ParallelRuntime:
+    """Persistent worker processes executing registered tasks."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        import multiprocessing as mp
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        # fork keeps worker startup cheap and inherits registered tasks;
+        # other platforms fall back to their default start method
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self.workers = workers
+        self.start_method = start_method
+        self._outbox = self._ctx.Queue()
+        self._inboxes = [self._ctx.SimpleQueue() for _ in range(workers)]
+        self._processes = []
+        self._closed = False
+        self._task_counter = 0
+        for worker_id, inbox in enumerate(self._inboxes):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, inbox, self._outbox),
+                daemon=True,
+                name=f"repro-runtime-{worker_id}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    # ------------------------------------------------------------------ #
+    # construction with degradation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, workers: Optional[int] = None) -> Optional["ParallelRuntime"]:
+        """A runtime, or ``None`` where the platform cannot provide one."""
+        count = resolve_workers(workers)
+        try:
+            return cls(count)
+        except (OSError, ValueError, RuntimeError, ImportError):
+            # restricted sandboxes (no semaphores / fork) — callers degrade
+            # to their serial paths, which produce identical results
+            return None
+
+    # ------------------------------------------------------------------ #
+    # task dispatch
+    # ------------------------------------------------------------------ #
+    def map(self, task: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run ``task`` over ``payloads``; results in submission order.
+
+        Payload ``i`` goes to worker ``i % workers`` — a deterministic
+        assignment, so repeated calls with the same payloads exercise the
+        same worker-local caches.
+        """
+        self._check_dispatch(task)
+        payloads = list(payloads)
+        # reserve the id range *before* submitting: if a payload fails to
+        # pickle mid-loop, already-submitted tasks must never share an id
+        # with a later call (the drain filter relies on disjoint ranges)
+        first_id = self._task_counter
+        self._task_counter += len(payloads)
+        for index, payload in enumerate(payloads):
+            self._inboxes[index % self.workers].put((first_id + index,
+                                                     task, payload))
+        return self._drain(first_id, len(payloads))
+
+    def broadcast(self, task: str, payload: Any) -> List[Any]:
+        """Run one task on *every* worker (context distribution); ordered."""
+        self._check_dispatch(task)
+        first_id = self._task_counter
+        self._task_counter += self.workers
+        for offset, inbox in enumerate(self._inboxes):
+            inbox.put((first_id + offset, task, payload))
+        return self._drain(first_id, self.workers)
+
+    def _drain(self, first_id: int, count: int) -> List[Any]:
+        """Collect ``count`` results, raising on task errors or dead workers."""
+        results: List[Any] = [None] * count
+        received = 0
+        failure: Optional[str] = None
+        while received < count:
+            try:
+                _, task_id, ok, value = self._outbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [p.name for p in self._processes if not p.is_alive()]
+                if dead:
+                    self._shutdown(force=True)
+                    raise WorkerError(
+                        "worker process died while running tasks: "
+                        + ", ".join(dead)
+                    ) from None
+                continue
+            if not (first_id <= task_id < first_id + count):
+                continue  # stray result from an aborted earlier call
+            received += 1
+            if ok:
+                results[task_id - first_id] = value
+            elif failure is None:
+                failure = str(value)
+        if failure is not None:
+            raise WorkerError(f"runtime task failed in worker:\n{failure}")
+        return results
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once the pool stopped (explicitly or after a worker died)."""
+        return self._closed
+
+    def _check_dispatch(self, task: str) -> None:
+        if self._closed:
+            raise WorkerError("runtime is closed")
+        if task not in TASKS:
+            raise WorkerError(f"unknown runtime task {task!r}")
+
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._shutdown(force=False)
+
+    def _shutdown(self, force: bool) -> None:
+        self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for process in self._processes:
+            process.join(0.0 if force else _JOIN_SECONDS)
+            if process.is_alive():
+                process.terminate()
+                process.join(_JOIN_SECONDS)
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class LazyRuntime:
+    """Create-once/close-once ownership of a :class:`ParallelRuntime`.
+
+    The shared lifecycle every runtime consumer (sweep executor, schedule
+    optimizer, network runner, functional engine) needs:
+
+    * the pool is created on first :meth:`get` and **reused across calls**
+      (that is what makes the workers persistent);
+    * a failed creation (pool-less platform) is remembered, so serial
+      degradation does not retry the expensive probe on every call;
+    * a pool that closed itself (a worker died mid-task) is *replaced* on
+      the next :meth:`get` — one crash propagates as
+      :class:`WorkerError`, it does not poison the owner forever;
+    * ``task_hint`` caps creation at the useful size, so three pending
+      points never fork a 64-core pool — and a later call with more work
+      **grows** the pool (replacing the small one) rather than staying
+      pinned to the first call's size.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+        self._runtime: Optional[ParallelRuntime] | bool = None
+
+    @property
+    def runtime(self) -> Optional[ParallelRuntime]:
+        """The currently live pool, without creating one."""
+        if isinstance(self._runtime, ParallelRuntime) and not self._runtime.closed:
+            return self._runtime
+        return None
+
+    def get(self, task_hint: Optional[int] = None) -> Optional[ParallelRuntime]:
+        """The live pool, creating / growing / replacing one as needed."""
+        if self._runtime is False:
+            return None  # platform has no pools; don't retry the probe
+        target = resolve_workers(self.workers)
+        if task_hint is not None:
+            target = max(1, min(target, task_hint))
+        live = self.runtime
+        if live is not None and live.workers >= target:
+            return live
+        # dead pool, or live-but-smaller than this call can use: replace
+        # (pools only ever grow; a later small call reuses the big pool)
+        self.close()
+        self._runtime = ParallelRuntime.create(target) or False
+        return self._runtime or None
+
+    def close(self) -> None:
+        """Stop the pool; the next :meth:`get` may create a fresh one."""
+        if isinstance(self._runtime, ParallelRuntime):
+            self._runtime.close()
+        self._runtime = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,156 @@
+"""Zero-copy shared-memory tensors for the parallel runtime.
+
+Multi-hundred-MB VGG tensors must never cross the process boundary through
+pickle: a :class:`SharedTensor` copies the array once into a
+``multiprocessing.shared_memory`` segment owned by the parent, and workers
+attach to the segment by name — the picklable handle is a few dozen bytes
+regardless of tensor size, and writes from any process are visible to all
+(which is how workers assemble one ofmap tensor block by block).
+
+Platforms without ``/dev/shm`` (or without the POSIX primitives the module
+needs) degrade transparently: :meth:`SharedTensor.create` falls back to an
+*inline* handle that carries the array through pickle.  Results are identical
+either way — only the transfer cost differs — which preserves the serial
+degradation guarantee of the rest of the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+try:  # restricted sandboxes may lack the shared-memory primitives entirely
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform dependent
+    _shared_memory = None
+
+
+def _attach(name: str):
+    """Attach to an existing segment without claiming tracker ownership.
+
+    The segment is owned (created and unlinked) by the parent process; on
+    Python < 3.13 every attach also registers the name with the attaching
+    process's resource tracker (bpo-39959), which then warns about — and
+    tries to double-unlink — "leaked" segments at worker exit.  3.13+ has
+    ``track=False`` for exactly this; older versions get the equivalent by
+    unregistering right after the attach.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    # suppress (rather than undo) the registration: unregistering would
+    # race the owner's unlink when worker and parent share one tracker
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass
+class SharedTensor:
+    """Picklable handle to a NumPy array living in shared memory.
+
+    Exactly one of ``name`` (shared-memory segment) or ``inline`` (pickled
+    fallback payload) is set.  The parent that called :meth:`create` owns the
+    segment and must call :meth:`unlink` when every consumer is done;
+    attaching processes call :meth:`open` / :meth:`close` around their use.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str
+    name: Optional[str] = None
+    inline: Optional[np.ndarray] = None
+    #: live segment objects (parent: the created segment; worker: attachments)
+    _segments: List[object] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # creation (parent side)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedTensor":
+        """Copy ``array`` into a fresh shared segment (inline on fallback)."""
+        array = np.ascontiguousarray(array)
+        if _shared_memory is not None and array.nbytes > 0:
+            try:
+                segment = _shared_memory.SharedMemory(create=True,
+                                                      size=array.nbytes)
+            except (OSError, ValueError):  # no /dev/shm, quota, sandbox…
+                segment = None
+            if segment is not None:
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=segment.buf)
+                view[:] = array
+                handle = cls(shape=array.shape, dtype=str(array.dtype),
+                             name=segment.name)
+                handle._segments.append(segment)
+                return handle
+        return cls(shape=array.shape, dtype=str(array.dtype),
+                   inline=array.copy())
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...], dtype: str = "float64") -> "SharedTensor":
+        """A zero-filled shared tensor (e.g. an ofmap assembly buffer)."""
+        return cls.create(np.zeros(shape, dtype=np.dtype(dtype)))
+
+    # ------------------------------------------------------------------ #
+    # access (both sides)
+    # ------------------------------------------------------------------ #
+    def open(self) -> np.ndarray:
+        """An ndarray over the shared segment (attaches when needed).
+
+        In the creating process this reuses the original segment; in a worker
+        it attaches by name.  The returned array is writable and its writes
+        are visible to every attached process.  Call :meth:`close` when done
+        (workers) — the array must not be used afterwards.
+        """
+        if self.name is None:
+            assert self.inline is not None
+            return self.inline
+        if not self._segments:
+            assert _shared_memory is not None
+            self._segments.append(_attach(self.name))
+        segment = self._segments[0]
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                          buffer=segment.buf)  # type: ignore[attr-defined]
+
+    def close(self) -> None:
+        """Detach this process's mapping (the segment itself stays alive)."""
+        while self._segments:
+            segment = self._segments.pop()
+            try:
+                segment.close()  # type: ignore[attr-defined]
+            except (OSError, BufferError):  # pragma: no cover - platform noise
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent side, after every consumer closed)."""
+        if self.name is None:
+            self.inline = None
+            return
+        segments = list(self._segments)
+        self.close()
+        if _shared_memory is not None:
+            try:
+                segment = segments[0] if segments else _shared_memory.SharedMemory(
+                    name=self.name)
+                segment.unlink()  # type: ignore[attr-defined]
+            except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+                pass
+        self.name = None
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the tensor payload in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_segments"] = []  # segments never cross the process boundary
+        return state

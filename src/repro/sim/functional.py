@@ -153,20 +153,13 @@ class FunctionalChainSimulator:
         stats.pairs_processed += 1
 
     # ------------------------------------------------------------------ #
-    # public API
+    # shared plumbing (serial and parallel paths must stay identical)
     # ------------------------------------------------------------------ #
-    def run_layer(self, layer: ConvLayer, ifmaps: np.ndarray,
-                  weights: np.ndarray,
-                  stripe_height: Optional[int] = None) -> FunctionalRunResult:
-        """Simulate one layer; returns the ofmaps and the dataflow statistics.
-
-        ``stripe_height`` overrides the ofmap rows computed per stripe (the
-        default is the paper's full ``K``-row stripe).  Any legal height
-        partitions the same window set differently, so the ofmaps are
-        bit-identical across heights — the property the mapping-search
-        verification relies on — while the dataflow counters (stripes,
-        streamed pixels, primitive cycles) honestly reflect the choice.
-        """
+    @staticmethod
+    def _validate_tensors(layer: ConvLayer, ifmaps: np.ndarray,
+                          weights: np.ndarray,
+                          stripe_height: Optional[int]):
+        """Common input validation; returns float64 tensors + stripe height."""
         ifmaps = np.asarray(ifmaps, dtype=np.float64)
         weights = np.asarray(weights, dtype=np.float64)
         if stripe_height is None:
@@ -186,7 +179,62 @@ class FunctionalChainSimulator:
             raise WorkloadError(
                 f"{layer.name}: weights shape {weights.shape} does not match {expected_w}"
             )
+        return ifmaps, weights, stripe_height
 
+    @staticmethod
+    def _closed_form_stats(layer: ConvLayer,
+                           stripe_height: int) -> FunctionalRunStats:
+        """Layer counters from the per-pair closed forms (vectorized path)."""
+        per_pair = pair_window_stats(layer, stripe_height)
+        pairs = layer.channel_pairs()
+        return FunctionalRunStats(
+            windows_evaluated=per_pair.windows_evaluated * pairs,
+            windows_kept=per_pair.windows_kept * pairs,
+            stripes_processed=per_pair.stripes * pairs,
+            pairs_processed=pairs,
+            pixels_streamed=per_pair.pixels_streamed * pairs,
+            primitive_cycles=per_pair.primitive_cycles * pairs,
+        )
+
+    @staticmethod
+    def _finalize(layer: ConvLayer, ofmaps: np.ndarray,
+                  stats: FunctionalRunStats,
+                  mapping: LayerMapping) -> FunctionalRunResult:
+        """Shared sanity checks + result assembly for every execution path."""
+        if stats.pairs_processed != mapping.channel_pairs:
+            raise SimulationError(
+                f"{layer.name}: processed {stats.pairs_processed} pairs, "
+                f"expected {mapping.channel_pairs}"
+            )
+        if mapping.active_primitives <= 0:
+            raise SimulationError(
+                f"{layer.name}: mapping reports {mapping.active_primitives} active "
+                "primitives; cannot derive a per-primitive chain-cycle estimate"
+            )
+        return FunctionalRunResult(
+            layer=layer,
+            ofmaps=ofmaps,
+            stats=stats,
+            chain_cycles_estimate=stats.primitive_cycles / mapping.active_primitives,
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run_layer(self, layer: ConvLayer, ifmaps: np.ndarray,
+                  weights: np.ndarray,
+                  stripe_height: Optional[int] = None) -> FunctionalRunResult:
+        """Simulate one layer; returns the ofmaps and the dataflow statistics.
+
+        ``stripe_height`` overrides the ofmap rows computed per stripe (the
+        default is the paper's full ``K``-row stripe).  Any legal height
+        partitions the same window set differently, so the ofmaps are
+        bit-identical across heights — the property the mapping-search
+        verification relies on — while the dataflow counters (stripes,
+        streamed pixels, primitive cycles) honestly reflect the choice.
+        """
+        ifmaps, weights, stripe_height = self._validate_tensors(
+            layer, ifmaps, weights, stripe_height)
         mapping = self.mapper.map_layer(layer)
         padded = pad_input(ifmaps, layer.padding)
 
@@ -210,22 +258,73 @@ class FunctionalChainSimulator:
         return self._run_backend(self.backend, layer, padded, weights, mapping,
                                  stripe_height)
 
+    def run_layer_parallel(self, layer: ConvLayer, ifmaps: np.ndarray,
+                           weights: np.ndarray, runtime,
+                           stripe_height: Optional[int] = None
+                           ) -> FunctionalRunResult:
+        """Simulate one layer with ofmap blocks fanned over ``runtime``.
+
+        Requires the vectorized backend: every ofmap channel is an
+        independent broadcast-multiply/merged-axis reduction, so the padded
+        ifmaps and weights ship to the persistent workers once through
+        shared memory, each worker writes its channel block into a shared
+        assembly buffer, and the dataflow counters come from the same closed
+        forms the vectorized backend uses — ofmaps *and* stats are
+        bit-identical to :meth:`run_layer`.
+        """
+        from repro.runtime import SharedTensor
+        from repro.sim.functional_vectorized import ofmap_block_ranges
+
+        if self.backend != "vectorized":
+            raise ConfigurationError(
+                f"run_layer_parallel requires the vectorized backend, "
+                f"not {self.backend!r}"
+            )
+        ifmaps, weights, stripe_height = self._validate_tensors(
+            layer, ifmaps, weights, stripe_height)
+        mapping = self.mapper.map_layer(layer)
+        padded = pad_input(ifmaps, layer.padding)
+
+        handles = []
+        try:
+            shared_out = SharedTensor.zeros(layer.out_shape)
+            handles.append(shared_out)
+            if shared_out.name is None:
+                # inline fallback: workers would write their blocks into
+                # private pickled copies and the parent would read back
+                # zeros — run the (bit-identical) serial path instead
+                return self.run_layer(layer, ifmaps, weights,
+                                      stripe_height=stripe_height)
+            shared_padded = SharedTensor.create(padded)
+            handles.append(shared_padded)
+            shared_weights = SharedTensor.create(weights)
+            handles.append(shared_weights)
+            runtime.map("verify.sim_block", [
+                {
+                    "layer": layer,
+                    "padded": shared_padded,
+                    "weights": shared_weights,
+                    "out": shared_out,
+                    "m_start": m_start,
+                    "m_stop": m_stop,
+                }
+                for m_start, m_stop in ofmap_block_ranges(layer, runtime.workers)
+            ])
+            ofmaps = np.array(shared_out.open(), copy=True)
+        finally:
+            for handle in handles:
+                handle.unlink()
+
+        stats = self._closed_form_stats(layer, stripe_height)
+        return self._finalize(layer, ofmaps, stats, mapping)
+
     def _run_backend(self, backend: str, layer: ConvLayer, padded: np.ndarray,
                      weights: np.ndarray, mapping: LayerMapping,
                      stripe_height: int) -> FunctionalRunResult:
         """One backend's simulation of an already-validated layer."""
         if backend == "vectorized":
             ofmaps = vectorized_layer_ofmaps(layer, padded, weights)
-            per_pair = pair_window_stats(layer, stripe_height)
-            pairs = layer.channel_pairs()
-            stats = FunctionalRunStats(
-                windows_evaluated=per_pair.windows_evaluated * pairs,
-                windows_kept=per_pair.windows_kept * pairs,
-                stripes_processed=per_pair.stripes * pairs,
-                pairs_processed=pairs,
-                pixels_streamed=per_pair.pixels_streamed * pairs,
-                primitive_cycles=per_pair.primitive_cycles * pairs,
-            )
+            stats = self._closed_form_stats(layer, stripe_height)
         else:
             ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
             stats = FunctionalRunStats()
@@ -245,23 +344,7 @@ class FunctionalChainSimulator:
                             stripe_height,
                         )
 
-        if stats.pairs_processed != mapping.channel_pairs:
-            raise SimulationError(
-                f"{layer.name}: processed {stats.pairs_processed} pairs, "
-                f"expected {mapping.channel_pairs}"
-            )
-        if mapping.active_primitives <= 0:
-            raise SimulationError(
-                f"{layer.name}: mapping reports {mapping.active_primitives} active "
-                "primitives; cannot derive a per-primitive chain-cycle estimate"
-            )
-        chain_cycles = stats.primitive_cycles / mapping.active_primitives
-        return FunctionalRunResult(
-            layer=layer,
-            ofmaps=ofmaps,
-            stats=stats,
-            chain_cycles_estimate=chain_cycles,
-        )
+        return self._finalize(layer, ofmaps, stats, mapping)
 
     def run_and_check(self, layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
                       tolerance: float = 1e-9) -> Dict[str, float]:

@@ -122,13 +122,36 @@ def vectorized_layer_ofmaps(layer: ConvLayer, padded: np.ndarray,
     the ``(M, C/groups, K, K)`` float64 kernels.  Ofmap blocks are sized so
     the broadcasted product stays within :data:`_PRODUCT_BLOCK_BYTES`.
     """
+    ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
+    vectorized_ofmap_block(layer, padded, weights, 0, layer.out_channels,
+                           out=ofmaps)
+    return ofmaps
+
+
+def vectorized_ofmap_block(layer: ConvLayer, padded: np.ndarray,
+                           weights: np.ndarray, m_start: int, m_stop: int,
+                           out: np.ndarray) -> None:
+    """Compute ofmap channels ``[m_start, m_stop)`` into ``out``.
+
+    Every ofmap channel is an independent broadcast-multiply / merged-axis
+    reduction accumulated over ascending ifmap channels, so any partition of
+    the channel range — including the parallel runtime's per-worker blocks —
+    produces values bit-identical to the whole-layer computation.  ``out``
+    must be the full ``layer.out_shape`` float64 tensor (a shared-memory
+    assembly buffer in the parallel path); only ``[m_start, m_stop)`` planes
+    are written.
+    """
     k = layer.kernel_size
     stride = layer.stride
     out_h = layer.out_height
     out_w = layer.out_width
     in_per_group = layer.in_channels_per_group
     out_per_group = layer.out_channels_per_group
-    ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
+    if not (0 <= m_start <= m_stop <= layer.out_channels):
+        raise ValueError(
+            f"{layer.name}: ofmap block [{m_start}, {m_stop}) outside "
+            f"[0, {layer.out_channels})"
+        )
 
     # (C, out_h, out_w, K, K) zero-copy view of the kept windows: the
     # stride-grid subset (regular-grid form of stride_keep_mask) of the
@@ -137,9 +160,14 @@ def vectorized_layer_ofmaps(layer: ConvLayer, padded: np.ndarray,
 
     m_block = max(1, _PRODUCT_BLOCK_BYTES // max(1, out_h * out_w * k * k * 8))
     for group in range(layer.groups):
+        # this group's slice of the requested block, in group-local indices
+        lo = max(m_start, group * out_per_group) - group * out_per_group
+        hi = min(m_stop, (group + 1) * out_per_group) - group * out_per_group
+        if lo >= hi:
+            continue
         c0 = group * in_per_group
         m0 = group * out_per_group
-        out_group = ofmaps[m0:m0 + out_per_group]
+        out_group = out[m0:m0 + out_per_group]
         # ifmap channels accumulate outermost, in ascending order — the same
         # float64 addition order as the scalar (pair-at-a-time) loop
         for c_local in range(in_per_group):
@@ -147,15 +175,32 @@ def vectorized_layer_ofmaps(layer: ConvLayer, padded: np.ndarray,
             # view has K*K-strided inner axes that slow every broadcasted
             # multiply over the ofmap block
             plane_windows = np.ascontiguousarray(kept[c0 + c_local])
-            for m_base in range(0, out_per_group, m_block):
-                m_stop = min(out_per_group, m_base + m_block)
-                kernels = weights[m0 + m_base:m0 + m_stop, c_local]
+            for m_base in range(lo, hi, m_block):
+                m_top = min(hi, m_base + m_block)
+                kernels = weights[m0 + m_base:m0 + m_top, c_local]
                 # contiguous (Mb, E, E_w, K, K) product; merging the kernel
                 # axes before the sum keeps NumPy's pairwise reduction order
                 # identical to the scalar per-window np.sum
                 product = plane_windows[None] * kernels[:, None, None]
                 sums = np.sum(
-                    product.reshape(m_stop - m_base, out_h, out_w, k * k), axis=-1
+                    product.reshape(m_top - m_base, out_h, out_w, k * k), axis=-1
                 )
-                out_group[m_base:m_stop] += sums
-    return ofmaps
+                # release the block product before the next one allocates:
+                # keeping it alive across iterations doubles peak memory
+                del product
+                out_group[m_base:m_top] += sums
+
+
+def ofmap_block_ranges(layer: ConvLayer, blocks: int) -> list:
+    """Split the ofmap channel axis into at most ``blocks`` contiguous ranges.
+
+    Used by the parallel verification path to fan one layer's simulation out
+    over workers; any partition yields bit-identical values (see
+    :func:`vectorized_ofmap_block`), so the block count is free to track the
+    worker count.
+    """
+    channels = layer.out_channels
+    blocks = max(1, min(blocks, channels))
+    size = -(-channels // blocks)
+    return [(start, min(channels, start + size))
+            for start in range(0, channels, size)]

@@ -33,7 +33,12 @@ from repro.cnn.quantize import choose_format
 from repro.cnn.reference import strided_windows
 from repro.core.config import ChainConfig
 from repro.errors import WorkloadError
-from repro.sim.functional import FunctionalChainSimulator, FunctionalRunStats
+from repro.runtime import LazyRuntime, ParallelRuntime
+from repro.sim.functional import (
+    FunctionalChainSimulator,
+    FunctionalRunResult,
+    FunctionalRunStats,
+)
 
 
 def pool2d(activations: np.ndarray, layer: PoolingLayer) -> np.ndarray:
@@ -124,19 +129,75 @@ class FunctionalNetworkRunner:
     def __init__(self, config: Optional[ChainConfig] = None,
                  backend: str = "vectorized", seed: int = 2017,
                  total_bits: int = 16, tolerance: float = 1e-6,
-                 quantize_between_stages: bool = True) -> None:
+                 quantize_between_stages: bool = True,
+                 workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise WorkloadError(f"workers must be >= 1, got {workers}")
         self.simulator = FunctionalChainSimulator(config, backend=backend)
         self.backend = backend
         self.seed = seed
         self.total_bits = total_bits
         self.tolerance = tolerance
         self.quantize_between_stages = quantize_between_stages
+        #: fan each conv layer's ofmap blocks over this many persistent
+        #: workers (vectorized backend only; ``None``/1 = serial); the
+        #: chained forward pass stays serial — layer N+1 needs layer N's
+        #: ofmaps — but within a layer every ofmap channel is independent
+        self.workers = workers
+        self._pool = LazyRuntime(workers)
+
+    # ------------------------------------------------------------------ #
+    # parallel runtime lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_runtime(self) -> Optional[ParallelRuntime]:
+        """The runner's persistent pool (``None`` = run serially).
+
+        Only the vectorized backend decomposes into independent ofmap
+        blocks; the scalar and cross-checking backends always run serially.
+        A platform without process pools degrades to serial as well — the
+        results are bit-identical either way.
+        """
+        if self.workers is None or self.workers <= 1:
+            return None
+        if self.backend != "vectorized":
+            return None
+        return self._pool.get()
+
+    def close(self) -> None:
+        """Stop the persistent workers (idempotent; serial use needs none)."""
+        self._pool.close()
+
+    def __enter__(self) -> "FunctionalNetworkRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def _quantize(self, activations: np.ndarray) -> np.ndarray:
         """Snap activations onto the fixed-point grid the datapath carries."""
         if not self.quantize_between_stages:
             return activations
         return choose_format(activations, self.total_bits).quantize(activations)
+
+    def _run_conv(self, layer: ConvLayer, activations: np.ndarray,
+                  weights: np.ndarray,
+                  stripe_height: Optional[int]) -> FunctionalRunResult:
+        """One conv layer's simulation, parallel over ofmap blocks when on.
+
+        The parallel path ships the padded ifmaps and weights to the workers
+        once through shared memory, lets every worker write its ofmap
+        channel block into a shared assembly buffer, and derives the
+        dataflow counters from the same closed forms the vectorized backend
+        uses — so ofmaps *and* stats are bit-identical to the serial path
+        (`tests/test_runtime.py` holds this in the equivalence gate).
+        """
+        runtime = self._ensure_runtime()
+        if runtime is None:
+            return self.simulator.run_layer(layer, activations, weights,
+                                            stripe_height=stripe_height)
+        return self.simulator.run_layer_parallel(layer, activations, weights,
+                                                 runtime,
+                                                 stripe_height=stripe_height)
 
     def run(self, network: Network,
             stripe_heights: Optional[Dict[str, int]] = None) -> NetworkRunResult:
@@ -190,7 +251,7 @@ class FunctionalNetworkRunner:
                     f"but the previous stage produced {activations.shape}"
                 )
             weights = self._quantize(generator.weights(layer))
-            run = self.simulator.run_layer(
+            run = self._run_conv(
                 layer, activations, weights,
                 stripe_height=(stripe_heights or {}).get(layer.name),
             )

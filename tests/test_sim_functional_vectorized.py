@@ -228,3 +228,45 @@ class TestConfigSensitivity:
         cycles_wide = wide.run_layer(layer, ifmaps, weights).chain_cycles_estimate
         cycles_narrow = narrow.run_layer(layer, ifmaps, weights).chain_cycles_estimate
         assert cycles_narrow > cycles_wide
+
+
+class TestOfmapBlockSizing:
+    def test_vgg_scale_layer_peak_memory_stays_bounded(self):
+        """The ofmap-block byte budget caps peak allocation.
+
+        A VGG-scale out-channel count (512) over a 56x56 feature map would
+        materialise a ~116 MB broadcast product in one piece; the block
+        sizing must keep the peak close to ``_PRODUCT_BLOCK_BYTES`` instead,
+        releasing each block's product before the next one allocates.
+        """
+        import tracemalloc
+
+        from repro.cnn.reference import conv2d_im2col, pad_input
+        from repro.sim.functional_vectorized import _PRODUCT_BLOCK_BYTES
+
+        layer = ConvLayer("vgg-scale", in_channels=4, out_channels=512,
+                          in_height=56, in_width=56, kernel_size=3, padding=1)
+        window_bytes = (layer.out_height * layer.out_width
+                        * layer.kernel_size * layer.kernel_size * 8)
+        unblocked_product_bytes = layer.out_channels * window_bytes
+        # the scenario must actually engage the blocking to test anything
+        assert unblocked_product_bytes > _PRODUCT_BLOCK_BYTES
+
+        ifmaps, weights = _tensors(layer, seed=3)
+        padded = pad_input(ifmaps, layer.padding)
+        tracemalloc.start()
+        try:
+            ofmaps = vectorized_layer_ofmaps(layer, padded, weights)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        ofmap_bytes = ofmaps.nbytes
+        bound = int(1.25 * _PRODUCT_BLOCK_BYTES) + ofmap_bytes + 16 * 1024 * 1024
+        assert peak <= bound, (
+            f"peak {peak / 1e6:.1f} MB above the blocked bound "
+            f"{bound / 1e6:.1f} MB"
+        )
+        assert peak < unblocked_product_bytes  # far from the unblocked cliff
+        reference = conv2d_im2col(layer, ifmaps, weights)
+        assert float(np.max(np.abs(ofmaps - reference))) < 1e-9
