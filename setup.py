@@ -1,11 +1,39 @@
-"""Setuptools shim.
+"""Setuptools packaging for the Chain-NN reproduction library.
 
-The project is fully described by ``pyproject.toml``; this file exists so the
-package can be installed in editable mode on machines whose setuptools/pip
-combination cannot build PEP 660 editable wheels offline
-(``python setup.py develop`` or ``pip install -e . --no-build-isolation``).
+The library itself needs only NumPy; the compiled kernel backend
+(:mod:`repro.kernels`) is an optional extra::
+
+    pip install -e .            # numpy reference kernels only
+    pip install -e .[numba]     # + the JIT-compiled kernel backend
+
+Every numba import in the library is guarded, so installations without the
+extra run the bit-identical NumPy reference backend.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'__version__ = "([^"]+)"',
+                     _INIT.read_text(encoding="utf-8")).group(1)
+
+setup(
+    name="repro-chain-nn",
+    version=_VERSION,
+    description=("Reproduction of Chain-NN (DATE 2017): an energy-efficient "
+                 "1D chain architecture for accelerating deep convolutional "
+                 "neural networks"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "numba": ["numba>=0.57"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

@@ -45,6 +45,7 @@ from repro.energy.components import EnergyParams, GateCountParams
 from repro.energy.power import chain_power_w, memory_power_w
 from repro.errors import ConfigurationError
 from repro.hwmodel.clock import ClockDomain
+from repro.kernels import MappingCostParams, get_backend, resolve_backend_name
 
 #: grid-axis names accepted by :meth:`DesignGrid.parse`
 GRID_AXES = ("pe", "freq", "batch", "bits")
@@ -490,7 +491,9 @@ class BatchDesignEvaluator:
         constants.tiles_by_bits[bits] = (tile.th, tile.stripe_rows, stripes)
         return constants.tiles_by_bits[bits]
 
-    def mapping_evaluator(self, layer_index: int, batch: int) -> "MappingBatchEvaluator":
+    def mapping_evaluator(self, layer_index: int, batch: int,
+                          kernel_backend: Optional[str] = None,
+                          ) -> "MappingBatchEvaluator":
         """Columnar *mapping-candidate* evaluator for one layer of the network.
 
         The mapping-search subsystem (:mod:`repro.mapping`) scores its
@@ -502,6 +505,7 @@ class BatchDesignEvaluator:
             config=self.base,
             batch=batch,
             energy=self.energy,
+            kernel_backend=kernel_backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -641,16 +645,25 @@ class MappingBatchEvaluator:
     Energy follows the :class:`~repro.energy.power.PowerModel` philosophy
     (busy-PE cycles x unit energies, with the static fraction on the chain
     term); DRAM spill/reload traffic is charged at ``dram_byte_j``.
+
+    The arithmetic itself lives in :mod:`repro.kernels`
+    (:func:`repro.kernels.numpy_backend.score_mappings` is the reference
+    specification; the numba backend is its bit-identical compiled form);
+    ``kernel_backend`` selects the implementation, ``None`` meaning the
+    process default.  Scores *and* argmins are identical across backends,
+    so the search results never depend on the selection.
     """
 
     def __init__(self, layer, config: Optional[ChainConfig] = None,
-                 batch: int = 1, energy: Optional[EnergyParams] = None) -> None:
+                 batch: int = 1, energy: Optional[EnergyParams] = None,
+                 kernel_backend: Optional[str] = None) -> None:
         if batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.layer = layer
         self.config = config or ChainConfig()
         self.batch = int(batch)
         self.energy = energy or EnergyParams()
+        self.kernel_backend = resolve_backend_name(kernel_backend)
         k = layer.kernel_size
         self.kernel_area = k * k
         if self.kernel_area > self.config.num_pes:
@@ -662,6 +675,27 @@ class MappingBatchEvaluator:
         self.channel_pairs = layer.channel_pairs()
         self.per_stripe_cycles = per_stripe_cycles_paper(layer)
         self.ofmap_words = layer.out_height * layer.out_width * layer.out_channels
+        self._params = MappingCostParams(
+            kernel_area=self.kernel_area,
+            channel_pairs=self.channel_pairs,
+            per_stripe_cycles=self.per_stripe_cycles,
+            out_height=layer.out_height,
+            weight_count=layer.weight_count,
+            batch=self.batch,
+            ofmap_words=self.ofmap_words,
+            stride=layer.stride,
+            kernel_size=layer.kernel_size,
+            padded_width=layer.padded_width,
+            in_channels_per_group=layer.in_channels_per_group,
+            frequency_hz=self.config.frequency_hz,
+            word_bytes=self.config.word_bytes,
+            pe_cycle_j=self.energy.pe_cycle_j,
+            static_fraction=self.energy.static_fraction,
+            kmemory_access_j=self.energy.kmemory_access_j,
+            imemory_access_j=self.energy.imemory_access_j,
+            omemory_access_j=self.energy.omemory_access_j,
+            dram_byte_j=self.energy.dram_byte_j,
+        )
 
     def evaluate(
         self,
@@ -678,83 +712,13 @@ class MappingBatchEvaluator:
         :meth:`repro.core.mapper.LayerMapper.map_layer_with` /
         :class:`repro.mapping.LayerMapSpace` to validate candidates).
         """
-        layer = self.layer
-        energy = self.energy
-        batch = self.batch
-        p = np.asarray(primitives, dtype=np.int64)
-        h = np.asarray(stripe_height, dtype=np.int64)
-        c = np.asarray(chunk, dtype=np.int64)
-        image_major = np.asarray(interleave_image, dtype=bool)
-
-        passes = -(-self.channel_pairs // p)
-        active_pes = p * self.kernel_area
-        stripes = -(-layer.out_height // h)
-        conv_img = stripes * self.per_stripe_cycles * passes
-        chunk_eff = np.minimum(c, passes)
-        refills = -(-passes // chunk_eff)
-
-        weight_count = layer.weight_count
-        reloads = image_major & (refills > 1)
-        load_cycles = np.where(reloads, weight_count * batch, weight_count)
-        batch_cycles = conv_img * batch + load_cycles
-
-        # first-image completion: image-major finishes after one image's
-        # convolutions; chunk-major-over-batch finishes (refills-1)/refills
-        # of the way into the batch (kernels always fully loaded by then)
-        batch_major_first = conv_img * ((refills - 1) * batch + 1) / refills
-        first_cycles = weight_count + np.where(image_major, conv_img,
-                                               batch_major_first)
-
-        spills = (~image_major) & (refills > 1)
-        spill_words = np.where(spills,
-                               2 * self.ofmap_words * (refills - 1) * batch, 0)
-
-        frequency = self.config.frequency_hz
-        time_batch_s = batch_cycles / frequency
-        first_s = first_cycles / frequency
-        fps = batch / time_batch_s
-
-        # ---- energy (joules per batch) ------------------------------- #
-        chain_j = (energy.pe_cycle_j * (1.0 + energy.static_fraction)
-                   * active_pes * conv_img * batch)
-        # kMemory: one weight read per MAC slot per stripe revisit, plus the
-        # write traffic of the (re)loads
-        if layer.stride == 1:
-            kmem_repeats = stripes
-        else:
-            kmem_repeats = np.full_like(stripes, layer.out_height)
-        kmem_words = (self.kernel_area * self.channel_pairs * kmem_repeats * batch
-                      + load_cycles)
-        kmem_j = energy.kmemory_access_j * kmem_words
-        # iMemory: every pass streams its stripe bands (overlap rows re-read)
-        stripe_rows = (h - 1) * layer.stride + layer.kernel_size
-        imem_words = (stripes * stripe_rows * layer.padded_width
-                      * self.channel_pairs * batch)
-        imem_j = energy.imemory_access_j * imem_words
-        # oMemory: read-modify-write of the partial sum per kept window
-        omem_words = 2 * self.ofmap_words * layer.in_channels_per_group * batch
-        omem_j = energy.omemory_access_j * np.full(p.shape, float(omem_words))
-        # DRAM: weight (re)loads plus partial-sum spills
-        dram_words = load_cycles + spill_words
-        dram_j = energy.dram_byte_j * dram_words * self.config.word_bytes
-
-        energy_j = chain_j + kmem_j + imem_j + omem_j + dram_j
-        return {
-            "passes": passes,
-            "active_pes": active_pes,
-            "kmemory_refills": refills,
-            "stripes": stripes,
-            "conv_cycles_per_image": conv_img.astype(np.float64),
-            "kernel_load_cycles": load_cycles.astype(np.float64),
-            "batch_cycles": batch_cycles.astype(np.float64),
-            "first_image_cycles": np.asarray(first_cycles, dtype=np.float64),
-            "time_per_batch_s": time_batch_s,
-            "first_image_latency_s": first_s,
-            "fps": fps,
-            "spill_dram_words": spill_words.astype(np.float64),
-            "energy_per_batch_j": energy_j,
-            "edp_js": energy_j * time_batch_s,
-        }
+        return get_backend(self.kernel_backend).score_mappings(
+            self._params,
+            np.asarray(primitives, dtype=np.int64),
+            np.asarray(stripe_height, dtype=np.int64),
+            np.asarray(chunk, dtype=np.int64),
+            np.asarray(interleave_image, dtype=bool),
+        )
 
 
 def worst_case_utilization_array(

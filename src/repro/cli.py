@@ -30,12 +30,15 @@ writing any Python:
 * ``networks``    — list the network zoo with per-network layer counts,
   MACs and parameter totals;
 * ``bench``       — run a registered benchmark (``sweep``, ``cycle``,
-  ``functional``, ``mapping``, ``parallel`` or ``all``) and write its
-  ``BENCH_*.json`` trajectory record.
+  ``functional``, ``mapping``, ``parallel``, ``kernels`` or ``all``) and
+  write its ``BENCH_*.json`` trajectory record.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
-instantiations can be explored from the shell; ``run``/``sweep``/``map``/
-``verify`` additionally take ``--workers`` to fan work over the persistent
+instantiations can be explored from the shell, plus ``--kernel-backend
+{numpy,numba}`` to pin the :mod:`repro.kernels` compute backend (default:
+``$REPRO_KERNEL_BACKEND`` or autodetection, with a bit-identical NumPy
+fallback when numba is unavailable); ``run``/``sweep``/``map``/``verify``
+additionally take ``--workers`` to fan work over the persistent
 shared-memory parallel runtime (:mod:`repro.runtime`) with bit-identical
 results.  All evaluation dispatches through the unified engine layer
 (:mod:`repro.engine`).
@@ -62,6 +65,7 @@ from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.utilization import utilization_table
 from repro.engine import CACHE_DIR_ENV, RunCache, available_engines, create_engine
 from repro.hwmodel.clock import ClockDomain
+from repro.kernels import KERNEL_BACKEND_ENV, KNOWN_BACKENDS, set_default_backend
 from repro.mapping import OBJECTIVES, STRATEGIES, ScheduleOptimizer, make_strategy
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
@@ -524,6 +528,7 @@ BENCHMARKS = {
     "functional": ("benchmarks/bench_functional.py",),
     "mapping": ("benchmarks/bench_mapping.py",),
     "parallel": ("benchmarks/bench_parallel.py",),
+    "kernels": ("benchmarks/bench_kernels.py",),
 }
 
 
@@ -560,6 +565,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         env["PYTHONPATH"] = os.pathsep.join(
             [str(src_dir)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
+        if args.kernel_backend is not None:
+            # the benchmarks run in a pytest subprocess; the CLI flag crosses
+            # the process boundary as the backend environment variable
+            env[KERNEL_BACKEND_ENV] = args.kernel_backend
         print(f"[bench {name}] {' '.join(command[2:])}")
         outcome = subprocess.run(command, env=env, cwd=repo_root)
         if outcome.returncode != 0:
@@ -609,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--pes", type=int, default=576, help="number of PEs in the chain")
     parser.add_argument("--frequency-mhz", type=float, default=700.0, help="core clock (MHz)")
+    parser.add_argument("--kernel-backend", choices=KNOWN_BACKENDS, default=None,
+                        help="repro.kernels compute backend (default: "
+                             f"${KERNEL_BACKEND_ENV} or autodetection; a "
+                             "requested-but-unavailable backend degrades to "
+                             "the bit-identical numpy reference)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="describe the accelerator and its Table II utilization")
@@ -779,6 +793,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.kernel_backend is not None:
+        # the CLI flag outranks $REPRO_KERNEL_BACKEND; every engine,
+        # simulator and worker constructed below inherits this default
+        set_default_backend(args.kernel_backend)
     handlers = {
         "info": cmd_info,
         "engines": cmd_engines,

@@ -41,6 +41,7 @@ from repro.core.utilization import minimum_utilization
 from repro.energy.area import AreaModel
 from repro.engine.base import Engine, RunRecord
 from repro.engine.cache import canonical_json, config_fingerprint, workload_fingerprint
+from repro.kernels import backend_fingerprint
 from repro.engine.registry import register_engine
 from repro.sim.cycle import CycleAccurateChainSimulator
 from repro.sim.functional import FunctionalChainSimulator
@@ -187,13 +188,16 @@ class MappedAnalyticalEngine(Engine):
 
     def __init__(self, config: Optional[ChainConfig] = None,
                  objective: str = "throughput", strategy: str = "exhaustive",
-                 shortlist: int = 4, **strategy_kwargs) -> None:
+                 shortlist: int = 4, kernel_backend: Optional[str] = None,
+                 **strategy_kwargs) -> None:
+        from repro.kernels import resolve_backend_name
         from repro.mapping import make_strategy
 
         self.name = "analytical-mapped"
         self.default_config = config or ChainConfig()
         self.objective = objective
         self.shortlist = shortlist
+        self.kernel_backend = resolve_backend_name(kernel_backend)
         self.strategy = make_strategy(strategy, **strategy_kwargs)
         self._memo: Dict[str, Any] = {}
 
@@ -212,6 +216,7 @@ class MappedAnalyticalEngine(Engine):
                 strategy=self.strategy,
                 batch=batch,
                 shortlist=self.shortlist,
+                kernel_backend=self.kernel_backend,
             )
             self._memo[memo_key] = optimizer.optimize(network)
         return self._memo[memo_key]
@@ -251,6 +256,10 @@ class MappedAnalyticalEngine(Engine):
             "strategy": self.strategy.fingerprint(),
             "shortlist": self.shortlist,
             "default_config": dataclasses.asdict(self.default_config),
+            # candidate scoring runs on a repro.kernels backend; every
+            # backend is bit-identical, but the fingerprint keeps cached
+            # records attributable if a compiled backend ever misbehaves
+            "kernels": backend_fingerprint(self.kernel_backend),
         }
 
 
@@ -365,9 +374,13 @@ class FunctionalEngine(Engine):
     """
 
     def __init__(self, seed: int = 2017, backend: str = "scalar",
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 kernel_backend: Optional[str] = None) -> None:
+        from repro.kernels import resolve_backend_name
+
         self.seed = seed
         self.backend = backend
+        self.kernel_backend = resolve_backend_name(kernel_backend)
         self.name = "functional" if backend == "scalar" else f"functional-{backend}"
         self._memo: Dict[str, Dict[str, Any]] = {}
         #: fan ofmap blocks over this many workers (vectorized backend only);
@@ -391,7 +404,8 @@ class FunctionalEngine(Engine):
         })
         if memo_key in self._memo:
             return self._memo[memo_key]
-        simulator = FunctionalChainSimulator(config, backend=self.backend)
+        simulator = FunctionalChainSimulator(config, backend=self.backend,
+                                             kernel_backend=self.kernel_backend)
         generator = WorkloadGenerator(seed=self.seed)
         runtime = self._runtime()
         layers: Dict[str, Dict[str, float]] = {}
@@ -448,7 +462,14 @@ class FunctionalEngine(Engine):
         )
 
     def fingerprint(self) -> Dict[str, Any]:
-        return {"name": self.name, "seed": self.seed, "backend": self.backend}
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "backend": self.backend,
+            # every repro.kernels backend is bit-identical; the fingerprint
+            # still records which one computed a cached result
+            "kernels": backend_fingerprint(self.kernel_backend),
+        }
 
 
 class BaselineEngine(Engine):

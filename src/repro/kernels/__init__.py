@@ -1,0 +1,38 @@
+"""Pluggable compiled-kernel backends for the two hottest inner loops.
+
+``repro.kernels`` hosts named, bit-identical implementations of the
+functional simulator's ofmap block product and the mapping-candidate
+scorer: the ``numpy`` reference (the specification) and a ``numba`` JIT
+backend with graceful fallback when numba is not installed.  See
+:mod:`repro.kernels.registry` for the selection precedence
+(explicit argument > ``--kernel-backend`` CLI override >
+``REPRO_KERNEL_BACKEND`` environment variable > autodetection).
+"""
+
+from repro.kernels.registry import (
+    KERNEL_BACKEND_ENV,
+    KNOWN_BACKENDS,
+    KernelBackend,
+    MappingCostParams,
+    available_backends,
+    backend_fingerprint,
+    get_backend,
+    numba_version,
+    resolve_backend_name,
+    set_default_backend,
+    warmup,
+)
+
+__all__ = [
+    "KERNEL_BACKEND_ENV",
+    "KNOWN_BACKENDS",
+    "KernelBackend",
+    "MappingCostParams",
+    "available_backends",
+    "backend_fingerprint",
+    "get_backend",
+    "numba_version",
+    "resolve_backend_name",
+    "set_default_backend",
+    "warmup",
+]

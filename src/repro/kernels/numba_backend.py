@@ -1,0 +1,294 @@
+"""Numba JIT implementations of the hot kernels — bit-identical by design.
+
+The compiled kernels reproduce the NumPy reference results *bit-for-bit*:
+
+* :func:`ofmap_block_product` re-implements NumPy's pairwise float64
+  summation order (the specification transcribed by
+  :func:`repro.kernels.numpy_backend.pairwise_sum_reference`) inside the
+  fused multiply/reduce loop, so the ofmaps match the reference — and
+  therefore the scalar walk and the im2col golden — exactly.  Only the
+  unrolled base case (``K^2 <= 128``, i.e. every kernel up to 11x11) is
+  compiled; larger kernels delegate to the reference implementation rather
+  than re-implement the recursive-halving branch.
+* :func:`score_mappings` evaluates the integral-pass cost model as a scalar
+  loop whose per-candidate arithmetic performs the same float64 operations
+  in the same order as the reference's whole-array expressions (int64
+  arithmetic is exact in both, and every int→float conversion point
+  matches), so scores *and* argmins are identical.
+
+``fastmath`` stays off everywhere: it licenses reassociation, which is
+exactly what bit-identity forbids.  The module imports cleanly without
+numba (``NUMBA_AVAILABLE`` False, kernels left as uncompiled Python); the
+registry only routes here when the probe succeeds, and tests force the
+ImportError path via the registry's memoised probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kernels.registry import MappingCostParams
+
+try:
+    import numba
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+    IMPORT_ERROR: Optional[str] = None
+except Exception as _exc:  # ImportError, or a broken install failing later
+    NUMBA_AVAILABLE = False
+    IMPORT_ERROR = f"{type(_exc).__name__}: {_exc}"
+    numba = None
+
+    def njit(*_args, **_kwargs):
+        """Decorator stand-in so the kernels below still define (uncompiled)."""
+        def wrap(function):
+            return function
+        return wrap
+
+
+def numba_version() -> Optional[str]:
+    """The imported numba's version string (None when unavailable)."""
+    return getattr(numba, "__version__", None) if NUMBA_AVAILABLE else None
+
+
+@njit(cache=True)
+def _pairwise_small(values, n):  # pragma: no cover - exercised compiled
+    """NumPy's pairwise float64 sum for ``n <= 128`` contiguous elements.
+
+    The two base cases of the pairwise order specification (see
+    :mod:`repro.kernels.numpy_backend`): sequential from 0.0 below 8,
+    the 8-accumulator unrolled body with sequential tail up to 128.
+    """
+    if n < 8:
+        result = 0.0
+        for i in range(n):
+            result = result + values[i]
+        return result
+    r0 = values[0]
+    r1 = values[1]
+    r2 = values[2]
+    r3 = values[3]
+    r4 = values[4]
+    r5 = values[5]
+    r6 = values[6]
+    r7 = values[7]
+    i = 8
+    stop = n - (n % 8)
+    while i < stop:
+        r0 = r0 + values[i]
+        r1 = r1 + values[i + 1]
+        r2 = r2 + values[i + 2]
+        r3 = r3 + values[i + 3]
+        r4 = r4 + values[i + 4]
+        r5 = r5 + values[i + 5]
+        r6 = r6 + values[i + 6]
+        r7 = r7 + values[i + 7]
+        i += 8
+    result = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        result = result + values[i]
+        i += 1
+    return result
+
+
+@njit(parallel=False, cache=True)
+def _ofmap_block_product(windows, kern2, out_block):  # pragma: no cover
+    """Fused multiply/pairwise-reduce/accumulate over one ofmap block.
+
+    ``windows``: contiguous ``(out_h, out_w, K*K)`` float64;
+    ``kern2``: contiguous ``(Mb, K*K)`` float64;
+    ``out_block``: ``(Mb, out_h, out_w)`` float64, accumulated in place.
+
+    Loop nest: spatial position outermost (the window stays hot in L1
+    across the whole ofmap block), kernels inner.  One pass, no
+    materialised product array — the compiled win over the reference.
+    """
+    out_h, out_w, n = windows.shape
+    m_count = kern2.shape[0]
+    buffer = np.empty(n, dtype=np.float64)
+    for y in range(out_h):
+        for x in range(out_w):
+            window = windows[y, x]
+            for m in range(m_count):
+                kernel = kern2[m]
+                for t in range(n):
+                    buffer[t] = window[t] * kernel[t]
+                out_block[m, y, x] += _pairwise_small(buffer, n)
+
+
+def ofmap_block_product(plane_windows: np.ndarray, kernels: np.ndarray,
+                        out_block: np.ndarray) -> None:
+    """Compiled ofmap block product; same contract as the reference.
+
+    Delegates to the NumPy reference when the merged kernel axis would hit
+    the recursive-halving branch of the pairwise order (``K^2 > 128``, i.e.
+    kernels larger than 11x11 — none in the mainstream set) or when the
+    output slice is not contiguous.
+    """
+    from repro.kernels import numpy_backend
+
+    k = kernels.shape[-1]
+    n = k * k
+    if n > 128 or not out_block.flags.c_contiguous:
+        numpy_backend.ofmap_block_product(plane_windows, kernels, out_block)
+        return
+    m_count, out_h, out_w = out_block.shape
+    windows = np.ascontiguousarray(plane_windows, dtype=np.float64)
+    kern2 = np.ascontiguousarray(kernels, dtype=np.float64).reshape(m_count, n)
+    _ofmap_block_product(windows.reshape(out_h, out_w, n), kern2, out_block)
+
+
+#: index layout of the packed scalar-parameter arrays fed to the compiled
+#: scorer (numba functions take arrays, not dataclasses)
+_INT_PARAMS = ("kernel_area", "channel_pairs", "per_stripe_cycles",
+               "out_height", "weight_count", "batch", "ofmap_words",
+               "stride", "kernel_size", "padded_width",
+               "in_channels_per_group", "word_bytes")
+_FLOAT_PARAMS = ("frequency_hz", "pe_cycle_j", "static_fraction",
+                 "kmemory_access_j", "imemory_access_j", "omemory_access_j",
+                 "dram_byte_j")
+
+
+@njit(parallel=False, cache=True)
+def _score_mappings(p, h, c, image_major, ints, floats, out_i, out_f):  # pragma: no cover
+    """Scalar-loop scorer matching the reference's float64 operation order.
+
+    Every float operation mirrors one elementwise NumPy operation of the
+    reference — same operands, same left-to-right association, same
+    int64→float64 conversion points — so the results are bit-identical.
+    """
+    kernel_area = ints[0]
+    channel_pairs = ints[1]
+    per_stripe_cycles = ints[2]
+    out_height = ints[3]
+    weight_count = ints[4]
+    batch = ints[5]
+    ofmap_words = ints[6]
+    stride = ints[7]
+    kernel_size = ints[8]
+    padded_width = ints[9]
+    in_channels_per_group = ints[10]
+    word_bytes = ints[11]
+    frequency = floats[0]
+    pe_cycle_j = floats[1]
+    static_fraction = floats[2]
+    kmemory_access_j = floats[3]
+    imemory_access_j = floats[4]
+    omemory_access_j = floats[5]
+    dram_byte_j = floats[6]
+
+    chain_scale = pe_cycle_j * (1.0 + static_fraction)
+    omem_words = 2 * ofmap_words * in_channels_per_group * batch
+    omem_j = omemory_access_j * np.float64(omem_words)
+    weight_count_f = np.float64(weight_count)
+    batch_f = np.float64(batch)
+
+    for i in range(p.shape[0]):
+        passes = -((-channel_pairs) // p[i])
+        active_pes = p[i] * kernel_area
+        stripes = -((-out_height) // h[i])
+        conv_img = stripes * per_stripe_cycles * passes
+        chunk_eff = min(c[i], passes)
+        refills = -((-passes) // chunk_eff)
+
+        if image_major[i] and refills > 1:
+            load_cycles = weight_count * batch
+        else:
+            load_cycles = weight_count
+        batch_cycles = conv_img * batch + load_cycles
+
+        conv_img_f = np.float64(conv_img)
+        batch_major_first = (conv_img * ((refills - 1) * batch + 1)) / refills
+        if image_major[i]:
+            first_cycles = weight_count_f + conv_img_f
+        else:
+            first_cycles = weight_count_f + batch_major_first
+
+        if (not image_major[i]) and refills > 1:
+            spill_words = 2 * ofmap_words * (refills - 1) * batch
+        else:
+            spill_words = 0
+
+        time_batch_s = batch_cycles / frequency
+        first_s = first_cycles / frequency
+        fps = batch_f / time_batch_s
+
+        chain_j = ((chain_scale * np.float64(active_pes)) * conv_img_f) * batch_f
+        if stride == 1:
+            kmem_repeats = stripes
+        else:
+            kmem_repeats = out_height
+        kmem_words = (kernel_area * channel_pairs * kmem_repeats * batch
+                      + load_cycles)
+        kmem_j = kmemory_access_j * np.float64(kmem_words)
+        stripe_rows = (h[i] - 1) * stride + kernel_size
+        imem_words = (stripes * stripe_rows * padded_width
+                      * channel_pairs * batch)
+        imem_j = imemory_access_j * np.float64(imem_words)
+        dram_words = load_cycles + spill_words
+        dram_j = (dram_byte_j * np.float64(dram_words)) * np.float64(word_bytes)
+
+        energy_j = (((chain_j + kmem_j) + imem_j) + omem_j) + dram_j
+
+        out_i[0, i] = passes
+        out_i[1, i] = active_pes
+        out_i[2, i] = refills
+        out_i[3, i] = stripes
+        out_f[0, i] = conv_img_f
+        out_f[1, i] = np.float64(load_cycles)
+        out_f[2, i] = np.float64(batch_cycles)
+        out_f[3, i] = first_cycles
+        out_f[4, i] = time_batch_s
+        out_f[5, i] = first_s
+        out_f[6, i] = fps
+        out_f[7, i] = np.float64(spill_words)
+        out_f[8, i] = energy_j
+        out_f[9, i] = energy_j * time_batch_s
+
+
+def score_mappings(params: MappingCostParams, primitives: np.ndarray,
+                   stripe_height: np.ndarray, chunk: np.ndarray,
+                   image_major: np.ndarray) -> Dict[str, np.ndarray]:
+    """Compiled candidate scorer; same contract as the reference.
+
+    The compiled loop assumes ``per_stripe_cycles`` is integral (true for
+    every layer the paper's closed forms produce — the annotation on
+    :func:`repro.core.performance.per_stripe_cycles_paper` is wider than
+    its values); a non-integral value delegates to the reference.
+    """
+    from repro.kernels import numpy_backend
+
+    if float(params.per_stripe_cycles) != float(int(params.per_stripe_cycles)):
+        return numpy_backend.score_mappings(params, primitives, stripe_height,
+                                            chunk, image_major)
+    p = np.ascontiguousarray(primitives, dtype=np.int64)
+    h = np.ascontiguousarray(stripe_height, dtype=np.int64)
+    c = np.ascontiguousarray(chunk, dtype=np.int64)
+    im = np.ascontiguousarray(image_major, dtype=np.bool_)
+    ints = np.array([int(getattr(params, name)) for name in _INT_PARAMS],
+                    dtype=np.int64)
+    floats = np.array([float(getattr(params, name)) for name in _FLOAT_PARAMS],
+                      dtype=np.float64)
+    n = p.shape[0]
+    out_i = np.empty((4, n), dtype=np.int64)
+    out_f = np.empty((10, n), dtype=np.float64)
+    _score_mappings(p, h, c, im, ints, floats, out_i, out_f)
+    return {
+        "passes": out_i[0],
+        "active_pes": out_i[1],
+        "kmemory_refills": out_i[2],
+        "stripes": out_i[3],
+        "conv_cycles_per_image": out_f[0],
+        "kernel_load_cycles": out_f[1],
+        "batch_cycles": out_f[2],
+        "first_image_cycles": out_f[3],
+        "time_per_batch_s": out_f[4],
+        "first_image_latency_s": out_f[5],
+        "fps": out_f[6],
+        "spill_dram_words": out_f[7],
+        "energy_per_batch_j": out_f[8],
+        "edp_js": out_f[9],
+    }

@@ -1,0 +1,179 @@
+"""NumPy reference implementations of the hot kernels.
+
+This backend *is* the specification: every other backend must reproduce its
+float64 results bit-for-bit.  The code here is the inner arithmetic that
+previously lived inline in :mod:`repro.sim.functional_vectorized` and
+:class:`repro.analysis.batch.MappingBatchEvaluator`, moved behind the
+:mod:`repro.kernels` registry unchanged.
+
+**The reduction-order contract.**  Bit-identity between the vectorized
+ofmap path, the scalar per-window walk and any compiled backend hinges on
+one NumPy implementation detail: ``np.sum`` over a contiguous float64 axis
+of length ``n`` uses *pairwise summation* with an unrolled base case.  The
+exact order, which :func:`pairwise_sum_reference` transcribes (and
+``tests/test_kernels.py`` pins against ``np.sum`` for every ``n`` up to
+128):
+
+* ``n < 8`` — a sequential left-to-right sum starting from ``0.0``;
+* ``8 <= n <= 128`` — eight running accumulators seeded from the first
+  eight elements, advanced eight-at-a-time over the unrolled body, combined
+  as ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))``, then a sequential tail;
+* ``n > 128`` — recursive halving (the split point rounded down to a
+  multiple of 8).
+
+The kernel axes are merged before the reduction (``reshape(..., K*K)``)
+precisely so the reduction runs over the same ``K^2`` contiguous elements
+in this order as the scalar ``np.sum(window * kernel)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.kernels.registry import MappingCostParams
+
+
+def pairwise_sum_reference(values: np.ndarray) -> float:
+    """Pure-Python transcription of NumPy's pairwise float64 sum order.
+
+    Bit-identical to ``float(np.sum(values))`` for contiguous 1D float64
+    input — the order specification the compiled backends implement.
+    """
+    n = values.shape[0]
+    if n < 8:
+        result = 0.0
+        for i in range(n):
+            result = result + values[i]
+        return result
+    if n <= 128:
+        r = [float(values[i]) for i in range(8)]
+        i = 8
+        while i < n - (n % 8):
+            for j in range(8):
+                r[j] = r[j] + values[i + j]
+            i += 8
+        result = ((r[0] + r[1]) + (r[2] + r[3])) + ((r[4] + r[5]) + (r[6] + r[7]))
+        while i < n:
+            result = result + values[i]
+            i += 1
+        return result
+    half = n // 2
+    half -= half % 8
+    return pairwise_sum_reference(values[:half]) + pairwise_sum_reference(values[half:])
+
+
+def ofmap_block_product(plane_windows: np.ndarray, kernels: np.ndarray,
+                        out_block: np.ndarray) -> None:
+    """Accumulate one ifmap channel's contribution to an ofmap block.
+
+    ``plane_windows`` is the channel's contiguous ``(out_h, out_w, K, K)``
+    float64 kept-window tensor, ``kernels`` the ``(Mb, K, K)`` float64
+    kernels of the ofmap block, ``out_block`` the ``(Mb, out_h, out_w)``
+    float64 ofmap slice to accumulate into (``+=``).
+
+    One broadcasted multiply followed by a merged-kernel-axis reduction:
+    the product is contiguous, so the ``axis=-1`` sum runs over the same
+    ``K^2`` contiguous elements with the same pairwise order NumPy uses for
+    the scalar per-window ``np.sum(window * kernel)``.
+    """
+    m_count, out_h, out_w = out_block.shape
+    k = kernels.shape[-1]
+    # contiguous (Mb, out_h, out_w, K, K) product; merging the kernel axes
+    # before the sum keeps NumPy's pairwise reduction order identical to
+    # the scalar per-window np.sum
+    product = plane_windows[None] * kernels[:, None, None]
+    sums = np.sum(product.reshape(m_count, out_h, out_w, k * k), axis=-1)
+    # release the block product before the caller's next block allocates:
+    # keeping it alive across iterations doubles peak memory
+    del product
+    out_block += sums
+
+
+def score_mappings(params: MappingCostParams, primitives: np.ndarray,
+                   stripe_height: np.ndarray, chunk: np.ndarray,
+                   image_major: np.ndarray) -> Dict[str, np.ndarray]:
+    """Score mapping-candidate columns; the integral-pass cost model.
+
+    Inputs are equally-long 1D arrays (``image_major`` boolean); the cost
+    model is documented on :class:`repro.analysis.batch.MappingBatchEvaluator`.
+    Returns the :data:`repro.analysis.batch.MAPPING_RESULT_COLUMNS` dict —
+    ``passes``/``active_pes``/``kmemory_refills``/``stripes`` int64,
+    everything else float64.
+    """
+    p = np.asarray(primitives, dtype=np.int64)
+    h = np.asarray(stripe_height, dtype=np.int64)
+    c = np.asarray(chunk, dtype=np.int64)
+    image_major = np.asarray(image_major, dtype=bool)
+    batch = params.batch
+
+    passes = -(-params.channel_pairs // p)
+    active_pes = p * params.kernel_area
+    stripes = -(-params.out_height // h)
+    conv_img = stripes * params.per_stripe_cycles * passes
+    chunk_eff = np.minimum(c, passes)
+    refills = -(-passes // chunk_eff)
+
+    weight_count = params.weight_count
+    reloads = image_major & (refills > 1)
+    load_cycles = np.where(reloads, weight_count * batch, weight_count)
+    batch_cycles = conv_img * batch + load_cycles
+
+    # first-image completion: image-major finishes after one image's
+    # convolutions; chunk-major-over-batch finishes (refills-1)/refills
+    # of the way into the batch (kernels always fully loaded by then)
+    batch_major_first = conv_img * ((refills - 1) * batch + 1) / refills
+    first_cycles = weight_count + np.where(image_major, conv_img,
+                                           batch_major_first)
+
+    spills = (~image_major) & (refills > 1)
+    spill_words = np.where(spills,
+                           2 * params.ofmap_words * (refills - 1) * batch, 0)
+
+    frequency = params.frequency_hz
+    time_batch_s = batch_cycles / frequency
+    first_s = first_cycles / frequency
+    fps = batch / time_batch_s
+
+    # ---- energy (joules per batch) ------------------------------------ #
+    chain_j = (params.pe_cycle_j * (1.0 + params.static_fraction)
+               * active_pes * conv_img * batch)
+    # kMemory: one weight read per MAC slot per stripe revisit, plus the
+    # write traffic of the (re)loads
+    if params.stride == 1:
+        kmem_repeats = stripes
+    else:
+        kmem_repeats = np.full_like(stripes, params.out_height)
+    kmem_words = (params.kernel_area * params.channel_pairs * kmem_repeats
+                  * batch + load_cycles)
+    kmem_j = params.kmemory_access_j * kmem_words
+    # iMemory: every pass streams its stripe bands (overlap rows re-read)
+    stripe_rows = (h - 1) * params.stride + params.kernel_size
+    imem_words = (stripes * stripe_rows * params.padded_width
+                  * params.channel_pairs * batch)
+    imem_j = params.imemory_access_j * imem_words
+    # oMemory: read-modify-write of the partial sum per kept window
+    omem_words = 2 * params.ofmap_words * params.in_channels_per_group * batch
+    omem_j = params.omemory_access_j * np.full(p.shape, float(omem_words))
+    # DRAM: weight (re)loads plus partial-sum spills
+    dram_words = load_cycles + spill_words
+    dram_j = params.dram_byte_j * dram_words * params.word_bytes
+
+    energy_j = chain_j + kmem_j + imem_j + omem_j + dram_j
+    return {
+        "passes": passes,
+        "active_pes": active_pes,
+        "kmemory_refills": refills,
+        "stripes": stripes,
+        "conv_cycles_per_image": conv_img.astype(np.float64),
+        "kernel_load_cycles": load_cycles.astype(np.float64),
+        "batch_cycles": batch_cycles.astype(np.float64),
+        "first_image_cycles": np.asarray(first_cycles, dtype=np.float64),
+        "time_per_batch_s": time_batch_s,
+        "first_image_latency_s": first_s,
+        "fps": fps,
+        "spill_dram_words": spill_words.astype(np.float64),
+        "energy_per_batch_j": energy_j,
+        "edp_js": energy_j * time_batch_s,
+    }

@@ -48,6 +48,7 @@ from repro.engine.cache import (
     workload_fingerprint,
 )
 from repro.errors import ConfigurationError
+from repro.kernels import backend_fingerprint, resolve_backend_name
 from repro.mapping.mapspace import (
     LayerMapSpace,
     MappingCandidate,
@@ -92,15 +93,20 @@ def network_objective(objective: str,
 
 
 def make_layer_scorer(layer, config: ChainConfig, objective: str, batch: int,
-                      energy: EnergyParams):
+                      energy: EnergyParams,
+                      kernel_backend: Optional[str] = None):
     """(evaluator, scorer) for one layer — the single scoring construction.
 
     Both the serial :meth:`ScheduleOptimizer.search_layer` and the parallel
     ``map.search_layer`` worker task score through this, so there is exactly
     one definition of how a candidate list becomes objective values.
+    ``kernel_backend`` selects the :mod:`repro.kernels` scorer backend;
+    every backend is bit-identical, so scores and argmins never depend on
+    the choice.
     """
     evaluator = MappingBatchEvaluator(layer, config=config, batch=batch,
-                                      energy=energy)
+                                      energy=energy,
+                                      kernel_backend=kernel_backend)
     proxy = OBJECTIVES[objective]
 
     def scorer(candidates):
@@ -112,7 +118,8 @@ def make_layer_scorer(layer, config: ChainConfig, objective: str, batch: int,
 
 def search_layer_entry(layer, config: ChainConfig, objective: str,
                        strategy: Strategy, batch: int, energy: EnergyParams,
-                       shortlist: int) -> Dict[str, Any]:
+                       shortlist: int,
+                       kernel_backend: Optional[str] = None) -> Dict[str, Any]:
     """Search one layer's mapspace and score its shortlist pool.
 
     This is the per-layer body of :meth:`ScheduleOptimizer.optimize`,
@@ -125,7 +132,8 @@ def search_layer_entry(layer, config: ChainConfig, objective: str,
     """
     space = LayerMapSpace(layer, config)
     evaluator, scorer = make_layer_scorer(layer, config, objective, batch,
-                                          energy)
+                                          energy,
+                                          kernel_backend=kernel_backend)
     result = strategy.search(space, scorer, shortlist=shortlist)
     baseline = space.baseline()
     pool = list(result.candidates)
@@ -356,6 +364,7 @@ class ScheduleOptimizer:
         cache: Optional[RunCache] = None,
         shortlist: int = 4,
         workers: Optional[int] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ConfigurationError(
@@ -379,6 +388,11 @@ class ScheduleOptimizer:
         #: (``None``/1 = serial); results are bit-identical either way, so
         #: the worker count deliberately stays out of the cache fingerprint
         self.workers = workers
+        #: effective :mod:`repro.kernels` scorer backend; resolved once so
+        #: serial and parallel searches use the same implementation (it
+        #: *does* enter the fingerprint — backends are bit-identical, but
+        #: the cache stays conservative about who produced a record)
+        self.kernel_backend = resolve_backend_name(kernel_backend)
         self._pool = LazyRuntime(workers)
 
     # ------------------------------------------------------------------ #
@@ -387,7 +401,8 @@ class ScheduleOptimizer:
     def search_layer(self, space: LayerMapSpace) -> SearchResult:
         """Run the configured strategy over one layer's space."""
         _, scorer = make_layer_scorer(space.layer, self.config, self.objective,
-                                      self.batch, self.energy)
+                                      self.batch, self.energy,
+                                      kernel_backend=self.kernel_backend)
         return self.strategy.search(space, scorer, shortlist=self.shortlist)
 
     def optimize(self, network: Network) -> OptimizedSchedule:
@@ -436,6 +451,7 @@ class ScheduleOptimizer:
                         "batch": self.batch,
                         "energy": self.energy,
                         "shortlist": self.shortlist,
+                        "kernel_backend": self.kernel_backend,
                     }
                     for layer in layers
                 ]
@@ -443,7 +459,8 @@ class ScheduleOptimizer:
         return [
             search_layer_entry(layer, self.config, self.objective,
                                self.strategy, self.batch, self.energy,
-                               self.shortlist)
+                               self.shortlist,
+                               kernel_backend=self.kernel_backend)
             for layer in layers
         ]
 
@@ -516,6 +533,7 @@ class ScheduleOptimizer:
             "batch": self.batch,
             "shortlist": self.shortlist,
             "energy": asdict(self.energy),
+            "kernels": backend_fingerprint(self.kernel_backend),
         }
 
     def cache_key(self, network: Network) -> str:
@@ -552,7 +570,8 @@ class ScheduleOptimizer:
         outcome = MappingVerification(network_name=network.name, seed=seed,
                                       tolerance=tolerance)
         parent = WorkloadGenerator(seed=seed)
-        simulator = FunctionalChainSimulator(self.config, backend="vectorized")
+        simulator = FunctionalChainSimulator(self.config, backend="vectorized",
+                                             kernel_backend=self.kernel_backend)
         verified: Dict[Tuple, int] = {}
         covers: Dict[int, List[str]] = {}
         for layer in network.conv_layers:

@@ -26,9 +26,16 @@ from __future__ import annotations
 import os
 import queue as queue_module
 import traceback
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.runtime.tasks import TASKS
+
+#: set to force pool creation on single-core hosts (tests, debugging)
+FORCE_PARALLEL_ENV = "REPRO_FORCE_PARALLEL"
+
+#: one single-core degradation warning per process, not one per consumer
+_warned_single_core = False
 
 #: seconds between worker-liveness checks while draining results
 _POLL_SECONDS = 0.1
@@ -255,8 +262,22 @@ class LazyRuntime:
 
     def get(self, task_hint: Optional[int] = None) -> Optional[ParallelRuntime]:
         """The live pool, creating / growing / replacing one as needed."""
+        global _warned_single_core
         if self._runtime is False:
             return None  # platform has no pools; don't retry the probe
+        if (os.cpu_count() or 1) <= 1 and not os.environ.get(FORCE_PARALLEL_ENV):
+            # forking workers on a single core only adds IPC overhead; the
+            # serial paths are bit-identical, so degrade instead
+            if not _warned_single_core:
+                _warned_single_core = True
+                warnings.warn(
+                    "single-core host: --workers degraded to serial execution "
+                    f"(set {FORCE_PARALLEL_ENV}=1 to force a pool)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self._runtime = False
+            return None
         target = resolve_workers(self.workers)
         if task_hint is not None:
             target = max(1, min(target, task_hint))
@@ -267,7 +288,15 @@ class LazyRuntime:
         # (pools only ever grow; a later small call reuses the big pool)
         self.close()
         self._runtime = ParallelRuntime.create(target) or False
-        return self._runtime or None
+        runtime = self.runtime
+        if runtime is not None:
+            # pre-warm the kernel backend once per worker, so JIT compilation
+            # (numba backend) never lands inside a timed or per-layer task
+            from repro.kernels import resolve_backend_name
+
+            runtime.broadcast("kernels.configure",
+                              {"backend": resolve_backend_name()})
+        return runtime
 
     def close(self) -> None:
         """Stop the pool; the next :meth:`get` may create a fresh one."""

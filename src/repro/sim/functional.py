@@ -35,6 +35,7 @@ from repro.core.config import ChainConfig
 from repro.core.mapper import LayerMapper, LayerMapping
 from repro.core.scan import ColumnScanSchedule
 from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.kernels import resolve_backend_name
 from repro.sim.functional_vectorized import pair_window_stats, vectorized_layer_ofmaps
 
 #: selectable simulation backends (``"both"`` additionally cross-checks them)
@@ -85,7 +86,8 @@ class FunctionalChainSimulator:
     """Dataflow-level simulator of the Chain-NN execution of a conv layer."""
 
     def __init__(self, config: Optional[ChainConfig] = None,
-                 backend: str = "scalar") -> None:
+                 backend: str = "scalar",
+                 kernel_backend: Optional[str] = None) -> None:
         if backend not in FUNCTIONAL_BACKENDS + ("both",):
             raise ConfigurationError(
                 f"unknown functional backend {backend!r}; "
@@ -93,6 +95,10 @@ class FunctionalChainSimulator:
             )
         self.config = config or ChainConfig()
         self.backend = backend
+        #: effective :mod:`repro.kernels` backend of the vectorized path
+        #: (resolved once at construction so parallel workers inherit the
+        #: same choice; every backend is bit-identical)
+        self.kernel_backend = resolve_backend_name(kernel_backend)
         self.mapper = LayerMapper(self.config)
 
     # ------------------------------------------------------------------ #
@@ -307,6 +313,7 @@ class FunctionalChainSimulator:
                     "out": shared_out,
                     "m_start": m_start,
                     "m_stop": m_stop,
+                    "kernel_backend": self.kernel_backend,
                 }
                 for m_start, m_stop in ofmap_block_ranges(layer, runtime.workers)
             ])
@@ -323,7 +330,8 @@ class FunctionalChainSimulator:
                      stripe_height: int) -> FunctionalRunResult:
         """One backend's simulation of an already-validated layer."""
         if backend == "vectorized":
-            ofmaps = vectorized_layer_ofmaps(layer, padded, weights)
+            ofmaps = vectorized_layer_ofmaps(layer, padded, weights,
+                                             kernel_backend=self.kernel_backend)
             stats = self._closed_form_stats(layer, stripe_height)
         else:
             ofmaps = np.zeros(layer.out_shape, dtype=np.float64)

@@ -27,16 +27,23 @@ operations:
   :class:`~repro.sim.functional.FunctionalRunStats` counter is a per-pair
   constant (closed form over the stripe plan) multiplied by the number of
   channel pairs.
+* **Kernels.**  The per-block multiply/reduce/accumulate itself dispatches
+  through :mod:`repro.kernels`, so the same decomposition runs on the NumPy
+  reference backend or the compiled (numba) backend — bit-identically, the
+  compiled kernel reproducing the pairwise reduction order in its fused
+  loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.cnn.layer import ConvLayer
 from repro.cnn.reference import strided_windows
+from repro.kernels import get_backend
 
 #: byte budget for one broadcasted (ofmap block, windows, K, K) product; keeps
 #: the materialised array small on wide layers (e.g. VGG 224x224 inputs).
@@ -115,22 +122,26 @@ def stride_keep_mask(layer: ConvLayer) -> np.ndarray:
 
 
 def vectorized_layer_ofmaps(layer: ConvLayer, padded: np.ndarray,
-                            weights: np.ndarray) -> np.ndarray:
+                            weights: np.ndarray,
+                            kernel_backend: Optional[str] = None) -> np.ndarray:
     """Float64 ofmaps of the whole layer, bit-identical to the scalar path.
 
     ``padded`` is the zero-padded ``(C, Hp, Wp)`` float64 input, ``weights``
     the ``(M, C/groups, K, K)`` float64 kernels.  Ofmap blocks are sized so
     the broadcasted product stays within :data:`_PRODUCT_BLOCK_BYTES`.
+    ``kernel_backend`` selects the :mod:`repro.kernels` backend (``None`` =
+    the process default).
     """
     ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
     vectorized_ofmap_block(layer, padded, weights, 0, layer.out_channels,
-                           out=ofmaps)
+                           out=ofmaps, kernel_backend=kernel_backend)
     return ofmaps
 
 
 def vectorized_ofmap_block(layer: ConvLayer, padded: np.ndarray,
                            weights: np.ndarray, m_start: int, m_stop: int,
-                           out: np.ndarray) -> None:
+                           out: np.ndarray,
+                           kernel_backend: Optional[str] = None) -> None:
     """Compute ofmap channels ``[m_start, m_stop)`` into ``out``.
 
     Every ofmap channel is an independent broadcast-multiply / merged-axis
@@ -139,8 +150,11 @@ def vectorized_ofmap_block(layer: ConvLayer, padded: np.ndarray,
     produces values bit-identical to the whole-layer computation.  ``out``
     must be the full ``layer.out_shape`` float64 tensor (a shared-memory
     assembly buffer in the parallel path); only ``[m_start, m_stop)`` planes
-    are written.
+    are written.  The inner multiply/reduce/accumulate runs on the
+    ``kernel_backend`` :mod:`repro.kernels` backend — every backend is
+    bit-identical, so the choice never changes the result.
     """
+    backend = get_backend(kernel_backend)
     k = layer.kernel_size
     stride = layer.stride
     out_h = layer.out_height
@@ -178,17 +192,8 @@ def vectorized_ofmap_block(layer: ConvLayer, padded: np.ndarray,
             for m_base in range(lo, hi, m_block):
                 m_top = min(hi, m_base + m_block)
                 kernels = weights[m0 + m_base:m0 + m_top, c_local]
-                # contiguous (Mb, E, E_w, K, K) product; merging the kernel
-                # axes before the sum keeps NumPy's pairwise reduction order
-                # identical to the scalar per-window np.sum
-                product = plane_windows[None] * kernels[:, None, None]
-                sums = np.sum(
-                    product.reshape(m_top - m_base, out_h, out_w, k * k), axis=-1
-                )
-                # release the block product before the next one allocates:
-                # keeping it alive across iterations doubles peak memory
-                del product
-                out_group[m_base:m_top] += sums
+                backend.ofmap_block_product(plane_windows, kernels,
+                                            out_group[m_base:m_top])
 
 
 def ofmap_block_ranges(layer: ConvLayer, blocks: int) -> list:

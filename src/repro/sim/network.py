@@ -130,11 +130,14 @@ class FunctionalNetworkRunner:
                  backend: str = "vectorized", seed: int = 2017,
                  total_bits: int = 16, tolerance: float = 1e-6,
                  quantize_between_stages: bool = True,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 kernel_backend: Optional[str] = None) -> None:
         if workers is not None and workers < 1:
             raise WorkloadError(f"workers must be >= 1, got {workers}")
-        self.simulator = FunctionalChainSimulator(config, backend=backend)
+        self.simulator = FunctionalChainSimulator(config, backend=backend,
+                                                  kernel_backend=kernel_backend)
         self.backend = backend
+        self.kernel_backend = self.simulator.kernel_backend
         self.seed = seed
         self.total_bits = total_bits
         self.tolerance = tolerance

@@ -5,6 +5,7 @@ for ``sweep``, ``map`` and ``verify``."""
 from __future__ import annotations
 
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -20,9 +21,17 @@ from repro.runtime import (
     WorkerError,
     resolve_workers,
 )
+from repro.runtime import pool as pool_module
 from repro.runtime import shm as shm_module
 from repro.sim.functional import FunctionalChainSimulator
 from repro.sim.network import FunctionalNetworkRunner
+
+
+@pytest.fixture(autouse=True)
+def force_parallel(monkeypatch):
+    """Pool tests must create real pools even on single-core CI hosts
+    (the single-core degradation tests below remove the override again)."""
+    monkeypatch.setenv(pool_module.FORCE_PARALLEL_ENV, "1")
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +120,20 @@ class TestLazyRuntime:
             result = fresh.map("runtime.selftest",
                                [{"action": "echo", "value": 5}])
             assert result[0]["value"] == 5
+        finally:
+            owner.close()
+
+    def test_get_prewarms_kernel_backend_in_workers(self):
+        from repro.kernels import resolve_backend_name
+
+        owner = LazyRuntime(2)
+        pool = owner.get()  # broadcasts kernels.configure on creation
+        if pool is None:
+            pytest.skip("platform cannot provide process pools")
+        try:
+            results = pool.broadcast("kernels.configure", {"backend": None})
+            assert [entry["kernel_backend"] for entry in results] == \
+                [resolve_backend_name()] * 2
         finally:
             owner.close()
 
@@ -207,6 +230,48 @@ class TestSerialDegradation:
         assert parallel.stats == serial.stats
         assert parallel.max_abs_error == serial.max_abs_error
         assert parallel.passed
+
+
+class TestSingleCoreDegradation:
+    """``--workers`` on a single-core host degrades to the serial path."""
+
+    @pytest.fixture
+    def single_core(self, monkeypatch):
+        monkeypatch.delenv(pool_module.FORCE_PARALLEL_ENV, raising=False)
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(pool_module, "_warned_single_core", False)
+
+    def test_degrades_with_one_warning_per_process(self, single_core):
+        owner = LazyRuntime(4)
+        with pytest.warns(RuntimeWarning, match="single-core"):
+            assert owner.get() is None
+        # remembered per owner (no re-probe) and warned once per process
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert owner.get() is None
+            assert LazyRuntime(2).get() is None
+
+    def test_force_env_overrides_degradation(self, single_core, monkeypatch):
+        requested = []
+        monkeypatch.setenv(pool_module.FORCE_PARALLEL_ENV, "1")
+        monkeypatch.setattr(
+            ParallelRuntime, "create",
+            classmethod(lambda cls, workers=None:
+                        requested.append(workers) or None))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert LazyRuntime(2).get() is None
+        assert requested == [2]
+
+    def test_consumers_run_serially(self, single_core):
+        """End to end: workers>1 on one core still verifies, bit-identically."""
+        network = tiny_test_network()
+        serial = FunctionalNetworkRunner(seed=3).run(network)
+        with pytest.warns(RuntimeWarning, match="single-core"):
+            with FunctionalNetworkRunner(seed=3, workers=4) as runner:
+                parallel = runner.run(network)
+        assert parallel.stats == serial.stats
+        assert parallel.max_abs_error == serial.max_abs_error
 
 
 class TestParallelSerialEquivalence:
