@@ -1,0 +1,158 @@
+"""Benchmark: fault-tolerant supervision of the parallel runtime.
+
+The acceptance bars for the fault-tolerance PR:
+
+* **supervision is near-free when nothing fails** — the supervised pool's
+  no-fault sweep must stay within 5% of the unsupervised base pool (the
+  floor is asserted in timing mode, where best-of-N repetition suppresses
+  shared-runner noise; the smoke pass records the measured ratio honestly);
+* **recovery is bounded and fast** — under the seeded 20% crash plan the
+  same sweep must complete with results bit-identical to serial, and the
+  per-death recovery latency (extra wall-clock per worker death, dominated
+  by the respawn backoff + context replay) is recorded so regressions in
+  the recovery path show up in the trajectory.
+
+Records ``BENCH_faults.json`` (supervision overhead, chaos recovery
+latency, death/respawn counts, worker count) at the repo root; the "Fault
+tolerance" section of EXPERIMENTS.md is regenerated from that file.
+
+Pools are constructed directly (not through ``LazyRuntime``) so the
+benchmark exercises real worker processes even on single-core runners
+where the lazy path would degrade to serial.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _record import record_benchmark
+from repro.cnn.zoo import get_network
+from repro.core.config import ChainConfig
+from repro.engine import create_engine, workload_fingerprint
+from repro.engine.cache import canonical_json
+from repro.runtime import FaultPlan, ParallelRuntime, RetryPolicy, SupervisedRuntime
+
+#: worker processes the pools run (modest: the tasks are analytical closed
+#: forms, so the benchmark measures dispatch/supervision, not compute)
+WORKERS = 2
+
+#: the seeded chaos plan of the acceptance criterion
+CHAOS_SPEC = "crash:p=0.2,seed=7,attempts=1"
+
+#: timing repetitions per pool (best-of suppresses runner noise)
+ROUNDS = 3
+
+
+def _payloads(network, fingerprint, configs):
+    return [
+        {
+            "engine": "analytical",
+            "engine_kwargs": {},
+            "network_fingerprint": fingerprint,
+            "config": config,
+            "batch": 16,
+        }
+        for config in configs
+    ]
+
+
+def _timed_map(pool, network, fingerprint, payloads):
+    """Broadcast the network once, then best-of-ROUNDS timed maps."""
+    pool.broadcast("sweep.set_network",
+                   {"fingerprint": fingerprint, "network": network})
+    best = float("inf")
+    results = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        results = pool.map("sweep.point", payloads)
+        best = min(best, time.perf_counter() - started)
+    return best, results
+
+
+def test_supervision_overhead_and_recovery_latency(benchmark):
+    network = get_network("alexnet")
+    fingerprint = canonical_json(workload_fingerprint(network))
+    configs = [ChainConfig(num_pes=pes) for pes in range(128, 1153, 16)]
+    payloads = _payloads(network, fingerprint, configs)
+
+    engine = create_engine("analytical")
+    serial_metrics = [engine.evaluate(network, c, 16).metrics for c in configs]
+
+    base_pool = ParallelRuntime.create(WORKERS, fault_plan=FaultPlan.none())
+    if base_pool is None:
+        record_benchmark("faults", {
+            "workers": 0,
+            "points": len(configs),
+            "pools_available": False,
+        })
+        return
+    try:
+        base_seconds, base_results = _timed_map(
+            base_pool, network, fingerprint, payloads)
+    finally:
+        base_pool.close()
+    assert [r.metrics for r in base_results] == serial_metrics
+
+    supervised = SupervisedRuntime.create(WORKERS, fault_plan=FaultPlan.none())
+    supervised.policy = RetryPolicy(backoff=0.01)
+    try:
+        clean_seconds, clean_results = _timed_map(
+            supervised, network, fingerprint, payloads)
+        clean_stats = supervised.stats.as_dict()
+    finally:
+        supervised.close()
+    assert [r.metrics for r in clean_results] == serial_metrics
+    assert clean_stats["worker_deaths"] == 0  # no-fault path really is no-fault
+    overhead_pct = (clean_seconds / base_seconds - 1.0) * 100.0
+
+    chaotic = SupervisedRuntime.create(WORKERS, fault_plan=CHAOS_SPEC)
+    chaotic.policy = RetryPolicy(backoff=0.01)
+    try:
+        chaotic.broadcast("sweep.set_network",
+                          {"fingerprint": fingerprint, "network": network})
+        started = time.perf_counter()
+        chaos_results = chaotic.map("sweep.point", payloads)
+        chaos_seconds = time.perf_counter() - started
+        chaos_stats = chaotic.stats.as_dict()
+    finally:
+        chaotic.close()
+    # the acceptance criterion: bit-identical to serial under 20% crashes
+    assert [r.metrics for r in chaos_results] == serial_metrics
+    deaths = chaos_stats["worker_deaths"]
+    recovery_latency = (max(0.0, chaos_seconds - clean_seconds)
+                        / max(1, deaths))
+
+    record_benchmark("faults", {
+        "workers": WORKERS,
+        "points": len(configs),
+        "pools_available": True,
+        "fault_spec": CHAOS_SPEC,
+        "base_pool_seconds": base_seconds,
+        "supervised_seconds": clean_seconds,
+        "supervision_overhead_pct": overhead_pct,
+        "chaos_seconds": chaos_seconds,
+        "chaos_worker_deaths": deaths,
+        "chaos_respawns": chaos_stats["respawns"],
+        "chaos_retries": chaos_stats["retries"],
+        "recovery_latency_seconds_per_death": recovery_latency,
+        "bit_identical": True,
+    })
+
+    def supervised_clean_map():
+        pool = SupervisedRuntime.create(WORKERS, fault_plan=FaultPlan.none())
+        pool.policy = RetryPolicy(backoff=0.01)
+        try:
+            return _timed_map(pool, network, fingerprint, payloads)[1]
+        finally:
+            pool.close()
+
+    results = benchmark.pedantic(supervised_clean_map, rounds=1, iterations=1)
+    assert [r.metrics for r in results] == serial_metrics
+
+    # the <=5% floor only binds in timing mode: the smoke pass runs single
+    # repetitions on shared runners where scheduler noise exceeds the margin
+    if not benchmark.disabled:
+        assert overhead_pct <= 5.0, (
+            f"supervision overhead {overhead_pct:.1f}% exceeds the 5% budget "
+            f"({clean_seconds:.3f}s supervised vs {base_seconds:.3f}s base)"
+        )

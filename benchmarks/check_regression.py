@@ -46,6 +46,11 @@ WATCHED_FIELDS: Dict[str, List[str]] = {
     # absolute throughputs on its core count — machine-dependent like
     # "parallel", so the record is tracked but not gated
     "kernels": [],
+    # overhead percentages and recovery latencies are wall-clock deltas on
+    # a shared runner — pure machine noise between machines; the benchmark
+    # asserts its own bit-identity and (in timing mode) the 5% overhead
+    # budget, so the record is tracked but not ratio-gated
+    "faults": [],
 }
 
 

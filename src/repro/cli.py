@@ -30,8 +30,8 @@ writing any Python:
 * ``networks``    — list the network zoo with per-network layer counts,
   MACs and parameter totals;
 * ``bench``       — run a registered benchmark (``sweep``, ``cycle``,
-  ``functional``, ``mapping``, ``parallel``, ``kernels`` or ``all``) and
-  write its ``BENCH_*.json`` trajectory record.
+  ``functional``, ``mapping``, ``parallel``, ``kernels``, ``faults`` or
+  ``all``) and write its ``BENCH_*.json`` trajectory record.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
 instantiations can be explored from the shell, plus ``--kernel-backend
@@ -40,7 +40,12 @@ instantiations can be explored from the shell, plus ``--kernel-backend
 fallback when numba is unavailable); ``run``/``sweep``/``map``/``verify``
 additionally take ``--workers`` to fan work over the persistent
 shared-memory parallel runtime (:mod:`repro.runtime`) with bit-identical
-results.  All evaluation dispatches through the unified engine layer
+results.  The supervised runtime's fault-tolerance knobs are global too:
+``--task-deadline`` / ``--task-retries`` set the hang deadline and retry
+budget (exported as ``$REPRO_TASK_DEADLINE`` / ``$REPRO_TASK_RETRIES`` so
+workers spawned anywhere downstream inherit them), and cache-carrying
+commands take ``--cache-max-mb`` to bound the on-disk store with LRU
+eviction.  All evaluation dispatches through the unified engine layer
 (:mod:`repro.engine`).
 """
 
@@ -63,10 +68,17 @@ from repro.cnn.zoo import NETWORKS, get_network, tiny_test_network
 from repro.core.accelerator import ChainNN
 from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.utilization import utilization_table
-from repro.engine import CACHE_DIR_ENV, RunCache, available_engines, create_engine
+from repro.engine import (
+    CACHE_DIR_ENV,
+    CACHE_MAX_MB_ENV,
+    RunCache,
+    available_engines,
+    create_engine,
+)
 from repro.hwmodel.clock import ClockDomain
 from repro.kernels import KERNEL_BACKEND_ENV, KNOWN_BACKENDS, set_default_backend
 from repro.mapping import OBJECTIVES, STRATEGIES, ScheduleOptimizer, make_strategy
+from repro.runtime.supervisor import DEADLINE_ENV, RETRIES_ENV
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
 from repro.sim.network import FunctionalNetworkRunner
@@ -86,16 +98,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _cache_from_args(args: argparse.Namespace) -> Optional[RunCache]:
     """Sweep cache selection: ``--cache-dir`` wins, else ``$REPRO_CACHE_DIR``
     enables the default location, else caching stays off."""
     if getattr(args, "no_cache", False):
         return None
+    max_mb = getattr(args, "cache_max_mb", None)
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
-        return RunCache(cache_dir)
+        return RunCache(cache_dir, max_mb=max_mb)
     if os.environ.get(CACHE_DIR_ENV):
-        return RunCache()
+        return RunCache(max_mb=max_mb)
     return None
 
 
@@ -361,7 +381,12 @@ def cmd_pareto(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the on-disk sweep result cache."""
-    cache = _cache_from_args(args) or RunCache()
+    # explicit None check: RunCache defines __len__, so an *empty* cache is
+    # falsy and `or` would silently swap a --cache-dir selection for the
+    # default root
+    cache = _cache_from_args(args)
+    if cache is None:
+        cache = RunCache(max_mb=args.cache_max_mb)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached records from {cache.root}")
@@ -370,6 +395,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print(f"cache root : {stats['root']}")
     print(f"entries    : {stats['entries']}")
     print(f"size       : {stats['bytes'] / 1024:.1f} KiB")
+    if stats["max_bytes"] is not None:
+        print(f"size bound : {stats['max_bytes'] / (1024 * 1024):.1f} MiB (LRU)")
+    if stats["tmp_orphans"]:
+        print(f"tmp orphans: {stats['tmp_orphans']} (crash debris; "
+              "'repro cache clear' reaps them)")
+    if stats["corrupt"]:
+        print(f"corrupt    : {stats['corrupt']} quarantined record(s)")
     return 0
 
 
@@ -529,6 +561,7 @@ BENCHMARKS = {
     "mapping": ("benchmarks/bench_mapping.py",),
     "parallel": ("benchmarks/bench_parallel.py",),
     "kernels": ("benchmarks/bench_kernels.py",),
+    "faults": ("benchmarks/bench_faults.py",),
 }
 
 
@@ -623,6 +656,17 @@ def build_parser() -> argparse.ArgumentParser:
                              f"${KERNEL_BACKEND_ENV} or autodetection; a "
                              "requested-but-unavailable backend degrades to "
                              "the bit-identical numpy reference)")
+    parser.add_argument("--task-deadline", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="supervised-runtime hang deadline: a worker "
+                             "silent on one task this long is killed and the "
+                             "task retried (default: "
+                             f"${DEADLINE_ENV} or no deadline)")
+    parser.add_argument("--task-retries", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker deaths one task may cause before it is "
+                             "quarantined to serial parent execution "
+                             f"(default: ${RETRIES_ENV} or 3)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="describe the accelerator and its Table II utilization")
@@ -685,6 +729,11 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--no-cache", action="store_true",
                             help="disable the on-disk result cache even when "
                                  f"${CACHE_DIR_ENV} is set")
+        parser.add_argument("--cache-max-mb", type=_positive_float, default=None,
+                            metavar="MB",
+                            help="bound the cache directory to this many MB; "
+                                 "least-recently-used records are evicted "
+                                 f"(default: ${CACHE_MAX_MB_ENV} or unbounded)")
 
     sweep = sub.add_parser("sweep", help="design-space sweeps")
     sweep.add_argument("axis", nargs="?", choices=("pes", "frequency", "batch"),
@@ -714,6 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory (default: "
                             f"${CACHE_DIR_ENV} or ~/.cache/repro-chain-nn)")
+    cache.add_argument("--cache-max-mb", type=_positive_float, default=None,
+                       metavar="MB",
+                       help="size bound reported by stats (eviction applies "
+                            "when sweeps write through a bounded cache)")
 
     networks = sub.add_parser("networks",
                               help="list the network zoo (layer counts, MACs, "
@@ -756,6 +809,10 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--no-cache", action="store_true",
                          help="disable the on-disk search cache even when "
                               f"${CACHE_DIR_ENV} is set")
+    map_cmd.add_argument("--cache-max-mb", type=_positive_float, default=None,
+                         metavar="MB",
+                         help="bound the search cache to this many MB with "
+                              "LRU eviction")
 
     verify = sub.add_parser(
         "verify",
@@ -797,6 +854,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the CLI flag outranks $REPRO_KERNEL_BACKEND; every engine,
         # simulator and worker constructed below inherits this default
         set_default_backend(args.kernel_backend)
+    if args.task_deadline is not None:
+        # exported (not threaded through call chains) so RetryPolicy.from_env
+        # picks it up wherever a supervised pool is constructed downstream
+        os.environ[DEADLINE_ENV] = str(args.task_deadline)
+    if args.task_retries is not None:
+        os.environ[RETRIES_ENV] = str(args.task_retries)
     handlers = {
         "info": cmd_info,
         "engines": cmd_engines,

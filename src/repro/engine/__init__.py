@@ -25,6 +25,7 @@ from repro.engine.adapters import (
 from repro.engine.base import Engine, RunRecord
 from repro.engine.cache import (
     CACHE_DIR_ENV,
+    CACHE_MAX_MB_ENV,
     RunCache,
     default_cache_dir,
     grid_key,
@@ -45,6 +46,7 @@ __all__ = [
     "AnalyticalEngine",
     "BaselineEngine",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_MB_ENV",
     "CycleEngine",
     "DEFAULT_ENGINES",
     "Engine",

@@ -10,6 +10,26 @@ file, and a cache hit returns the stored :class:`~repro.engine.base.RunRecord`
 without evaluating anything.  Records are stored one-JSON-file-per-key with
 atomic writes, which makes the cache safe under the parallel sweep executor
 (two workers racing on the same key simply write identical bytes).
+
+The cache is also safe as a **shared cross-process store** (the
+evaluation-as-a-service prerequisite):
+
+* single-record reads and writes are lock-free — ``os.replace`` makes a
+  record appear atomically, so readers see either nothing or whole records,
+  never torn bytes;
+* multi-file read-modify cycles (LRU eviction, ``clear``) serialise on an
+  advisory ``fcntl`` lock (``<root>/.lock``), so 8+ concurrent processes
+  evicting against one root cannot double-delete or miscount;
+* a corrupt record (torn by a crashed writer on a non-atomic filesystem,
+  or mangled by anything else) is **quarantined** — renamed to
+  ``*.corrupt`` and warned about once per process — instead of silently
+  re-missing on every future call;
+* ``*.tmp`` spool files orphaned by crashed writers are counted by
+  :meth:`RunCache.stats`, reaped by :meth:`RunCache.clear`, and
+  age-reaped opportunistically during eviction;
+* with ``max_mb`` set (CLI ``--cache-max-mb`` / ``$REPRO_CACHE_MAX_MB``),
+  the store is size-bounded: least-recently-*used* records (hits bump
+  mtime) are evicted under the lock until the bound holds.
 """
 
 from __future__ import annotations
@@ -19,20 +39,42 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.engine.base import Engine, RunRecord
 
+try:  # POSIX advisory locking; other platforms fall back to lock-free mode
+    import fcntl
+except ImportError:  # pragma: no cover - platform dependent
+    fcntl = None
+
 #: environment variable overriding the default cache location
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: environment variable providing a default size bound (in MB) for caches
+#: constructed without an explicit ``max_mb``
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 #: cache-key schema generation — bump whenever model code changes in a way
 #: that should invalidate previously cached results (keys also embed the
 #: package version, so releases invalidate automatically)
 CACHE_SCHEMA = 1
+
+#: ``*.tmp`` spool files older than this are crash orphans (a healthy
+#: mkstemp -> write -> replace cycle lives milliseconds); eviction reaps them
+TMP_ORPHAN_SECONDS = 300.0
+
+#: suffix quarantined (corrupt) records are renamed to
+CORRUPT_SUFFIX = ".corrupt"
+
+#: one corrupt-entry warning per process, not one per record
+_warned_corrupt = False
 
 
 def default_cache_dir() -> Path:
@@ -107,13 +149,39 @@ def grid_key(engine: Engine, network: Network, base: Optional[ChainConfig],
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-class RunCache:
-    """One-file-per-record JSON cache with hit/miss accounting."""
+def _env_max_mb(environ: Optional[Dict[str, str]] = None) -> Optional[float]:
+    """Size bound from ``$REPRO_CACHE_MAX_MB`` (``None`` when unset/invalid)."""
+    raw = (environ if environ is not None else os.environ).get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
-    def __init__(self, root: str | Path | None = None) -> None:
+
+class RunCache:
+    """One-file-per-record JSON cache, hardened for concurrent processes.
+
+    Reads and writes of single records stay lock-free and atomic; corrupt
+    records are quarantined to ``*.corrupt``; crash-orphaned ``*.tmp`` files
+    are reaped; and an optional ``max_mb`` bound evicts least-recently-used
+    records under an advisory file lock (see the module docstring).
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 max_mb: Optional[float] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if max_mb is None:
+            max_mb = _env_max_mb()
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError(f"max_mb must be positive, got {max_mb}")
+        self.max_bytes = int(max_mb * 1024 * 1024) if max_mb is not None else None
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # path handling
@@ -127,24 +195,78 @@ class RunCache:
             return 0
         return sum(1 for _ in self.root.glob("*.json"))
 
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock over multi-file read-modify cycles.
+
+        Single-record operations never take this; only eviction and
+        :meth:`clear` do, so concurrent processes cannot interleave their
+        scan-and-delete cycles.  Platforms without ``fcntl`` degrade to
+        lock-free (single-record atomicity still holds there).
+        """
+        if fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / ".lock").open("w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[RunRecord]:
-        """Stored record for ``key`` or ``None`` (corrupt entries are misses)."""
+        """Stored record for ``key`` or ``None``.
+
+        A missing file is a plain miss.  A file that exists but does not
+        decode into a :class:`RunRecord` is **quarantined**: renamed to
+        ``<key>.json.corrupt`` (so the bytes survive for inspection and the
+        slot becomes writable again) with one ``RuntimeWarning`` per
+        process.  Hits bump the record's mtime so LRU eviction has a
+        recency signal.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 data = json.load(handle)
             record = RunRecord.from_json_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.misses += 1
             return None
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            self._quarantine(path)
+            return None
         self.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # concurrently evicted/cleared; the hit itself already served
         return record.with_cache_info(cache_key=key, cached=True)
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt record aside and warn once per process."""
+        global _warned_corrupt
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_name(path.name + CORRUPT_SUFFIX))
+        except OSError:
+            return  # another process quarantined (or evicted) it first
+        if not _warned_corrupt:
+            _warned_corrupt = True
+            warnings.warn(
+                f"quarantined corrupt cache entry {path.name} -> "
+                f"{path.name}{CORRUPT_SUFFIX} under {self.root} "
+                "(further corrupt entries are quarantined silently)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def put(self, key: str, record: RunRecord) -> None:
-        """Atomically persist ``record`` under ``key``."""
+        """Atomically persist ``record`` under ``key`` (then enforce bounds)."""
         self.root.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record.to_json_dict(), sort_keys=True, indent=1)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -158,16 +280,68 @@ class RunCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        """Delete least-recently-used records until the size bound holds.
+
+        Runs entirely under the advisory lock: the scan, the deletions and
+        the orphan reap are one critical section, so two bounded processes
+        never race each other's view of the directory.  Records vanishing
+        mid-scan (an unbounded third process clearing) are tolerated.
+        """
+        assert self.max_bytes is not None
+        with self._locked():
+            entries = []
+            total = 0
+            for path in self.root.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            self._reap_orphans(min_age=TMP_ORPHAN_SECONDS)
+            if total <= self.max_bytes:
+                return
+            entries.sort(key=lambda item: (item[0], item[2].name))
+            for _mtime, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                self.evictions += 1
+
+    def _reap_orphans(self, min_age: float = 0.0) -> int:
+        """Delete ``*.tmp`` spool files at least ``min_age`` seconds old."""
+        removed = 0
+        now = time.time()
+        for path in self.root.glob("*.tmp"):
+            try:
+                if min_age > 0 and now - path.stat().st_mtime < min_age:
+                    continue  # plausibly a live writer mid-spool
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
 
     def stats(self) -> Dict[str, Any]:
         """On-disk and in-process cache statistics.
 
-        ``entries``/``bytes`` describe the directory contents; ``hits`` and
-        ``misses`` count this process's :meth:`get` outcomes (the counters
-        the sweep executor surfaces after a run).
+        ``entries``/``bytes`` describe the live records; ``tmp_orphans`` and
+        ``corrupt`` count crash debris and quarantined records still on
+        disk; ``hits``/``misses``/``quarantined``/``evictions`` count this
+        process's outcomes (the counters the sweep executor surfaces).
         """
         entries = 0
         size = 0
+        tmp_orphans = 0
+        corrupt = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 try:
@@ -175,19 +349,34 @@ class RunCache:
                 except OSError:
                     continue
                 entries += 1
+            tmp_orphans = sum(1 for _ in self.root.glob("*.tmp"))
+            corrupt = sum(1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}"))
         return {
             "root": str(self.root),
             "entries": entries,
             "bytes": size,
+            "max_bytes": self.max_bytes,
+            "tmp_orphans": tmp_orphans,
+            "corrupt": corrupt,
             "hits": self.hits,
             "misses": self.misses,
+            "quarantined": self.quarantined,
+            "evictions": self.evictions,
         }
 
     def clear(self) -> int:
-        """Delete every cached record; returns the number removed."""
+        """Delete every record, quarantined record and orphaned spool file.
+
+        Returns the number of live records removed (debris is reaped but
+        not counted, keeping the CLI's "cleared N entries" truthful).
+        """
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
+            with self._locked():
+                for path in self.root.glob("*.json"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                for path in self.root.glob(f"*{CORRUPT_SUFFIX}"):
+                    path.unlink(missing_ok=True)
+                self._reap_orphans()
         return removed

@@ -34,7 +34,7 @@ from repro.engine.cache import (
     workload_fingerprint,
 )
 from repro.engine.registry import create_engine
-from repro.runtime import LazyRuntime, ParallelRuntime
+from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.analysis.batch import BatchSweepResult, DesignGrid
@@ -245,27 +245,33 @@ class SweepExecutor:
         if parallel and self._parallelizable and len(pending) > 1:
             runtime = self._pool.get(task_hint=len(pending))
             if runtime is not None:
-                # evaluation errors (worker crashes, engine bugs) propagate
-                # as WorkerError: only a missing pool degrades to serial
-                if runtime is not self._broadcast_pool:
+                try:
+                    if runtime is not self._broadcast_pool:
+                        self._broadcast = set()
+                        self._broadcast_pool = runtime
+                    fingerprint = canonical_json(workload_fingerprint(network))
+                    if fingerprint not in self._broadcast:
+                        runtime.broadcast("sweep.set_network",
+                                          {"fingerprint": fingerprint,
+                                           "network": network})
+                        self._broadcast.add(fingerprint)
+                    return runtime.map("sweep.point", [
+                        {
+                            "engine": self.engine_name,
+                            "engine_kwargs": self.engine_kwargs,
+                            "network_fingerprint": fingerprint,
+                            "config": config,
+                            "batch": batch,
+                        }
+                        for _, config, batch in pending
+                    ])
+                except WorkerError:
+                    # last rung of the degradation ladder: even the
+                    # supervised pool could not complete the call — finish
+                    # on the serial path, which is bit-identical (a genuine
+                    # engine bug re-raises its original exception below)
                     self._broadcast = set()
-                    self._broadcast_pool = runtime
-                fingerprint = canonical_json(workload_fingerprint(network))
-                if fingerprint not in self._broadcast:
-                    runtime.broadcast("sweep.set_network",
-                                      {"fingerprint": fingerprint,
-                                       "network": network})
-                    self._broadcast.add(fingerprint)
-                return runtime.map("sweep.point", [
-                    {
-                        "engine": self.engine_name,
-                        "engine_kwargs": self.engine_kwargs,
-                        "network_fingerprint": fingerprint,
-                        "config": config,
-                        "batch": batch,
-                    }
-                    for _, config, batch in pending
-                ])
+                    self._broadcast_pool = None
         return [
             self.engine.evaluate(network, config, batch)
             for _, config, batch in pending

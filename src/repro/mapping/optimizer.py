@@ -56,7 +56,7 @@ from repro.mapping.mapspace import (
     candidate_arrays,
 )
 from repro.mapping.strategies import SearchResult, Strategy, make_strategy
-from repro.runtime import LazyRuntime
+from repro.runtime import LazyRuntime, WorkerError
 from repro.sim.functional import FunctionalChainSimulator
 
 #: objective name -> per-layer proxy column of MAPPING_RESULT_COLUMNS
@@ -455,7 +455,10 @@ class ScheduleOptimizer:
                     }
                     for layer in layers
                 ]
-                return runtime.map("map.search_layer", payloads)
+                try:
+                    return runtime.map("map.search_layer", payloads)
+                except WorkerError:
+                    pass  # degradation ladder's last rung: the serial loop
         return [
             search_layer_entry(layer, self.config, self.objective,
                                self.strategy, self.batch, self.energy,

@@ -7,6 +7,14 @@ search / verify pipeline runs on:
   processes with per-worker task queues, ordered result assembly, error
   propagation and graceful serial degradation on platforms without process
   pools;
+* :class:`~repro.runtime.supervisor.SupervisedRuntime` — the fault-tolerant
+  layer on top: per-task deadlines, dead-worker respawn with broadcast-log
+  replay, bounded retry with backoff, poison-task quarantine and a
+  parallel → respawn → serial degradation ladder, all bit-identical to the
+  serial path;
+* :mod:`~repro.runtime.faults` — deterministic, seeded fault injection
+  (``$REPRO_FAULT_SPEC``) consulted by workers at task boundaries, so the
+  recovery machinery is reproducibly testable;
 * :class:`~repro.runtime.shm.SharedTensor` — zero-copy shared-memory NumPy
   tensors (with an inline-pickle fallback), so multi-hundred-MB ifmap /
   weight / ofmap tensors never cross the process boundary through pickle;
@@ -16,9 +24,16 @@ search / verify pipeline runs on:
 
 Consumers (``SweepExecutor``, ``ScheduleOptimizer``,
 ``FunctionalNetworkRunner``) guarantee **bit-identical results** between
-their serial and parallel paths; the runtime only changes wall-clock time.
+their serial and parallel paths; the runtime only changes wall-clock time —
+even when workers crash or hang mid-run.
 """
 
+from repro.runtime.faults import (
+    FAULT_SPEC_ENV,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+)
 from repro.runtime.pool import (
     LazyRuntime,
     ParallelRuntime,
@@ -26,13 +41,27 @@ from repro.runtime.pool import (
     resolve_workers,
 )
 from repro.runtime.shm import SharedTensor
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    SupervisedRuntime,
+    SupervisionStats,
+    TaskFailure,
+)
 from repro.runtime.tasks import TASKS, task
 
 __all__ = [
+    "FAULT_SPEC_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
     "LazyRuntime",
     "ParallelRuntime",
+    "RetryPolicy",
     "SharedTensor",
+    "SupervisedRuntime",
+    "SupervisionStats",
     "TASKS",
+    "TaskFailure",
     "WorkerError",
     "resolve_workers",
     "task",

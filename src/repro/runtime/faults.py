@@ -1,0 +1,219 @@
+"""Deterministic, seeded fault injection for the parallel runtime.
+
+Chaos testing is only useful when it is *reproducible*: a crash that shows
+up once per hundred CI runs is a flake, a crash that shows up on every run
+with ``seed=7`` is a regression test.  A :class:`FaultPlan` therefore maps
+``(task_id, attempt)`` — not wall-clock time or PRNG state — to a fault
+decision through SHA-256, so the same plan injects exactly the same faults
+into exactly the same tasks regardless of scheduling, worker assignment or
+machine, and the recovery path of the supervisor
+(:mod:`repro.runtime.supervisor`) is exercised identically on every run.
+
+Workers consult the plan at task boundaries (immediately before executing a
+task), which models the dominant real failure modes without corrupting
+results mid-write:
+
+* ``crash`` — the worker process dies outright (``os._exit``), the moral
+  equivalent of an OOM kill or a segfault;
+* ``hang``  — the worker stops responding (caught by the supervisor's
+  per-task deadline);
+* ``delay`` — the worker stalls for ``ms`` milliseconds (latency noise,
+  stragglers).
+
+Plans come from the ``REPRO_FAULT_SPEC`` environment variable (inherited by
+workers, so one exported variable turns any run into a chaos run) or are
+passed explicitly to the pool.  Spec grammar, rules separated by ``;``::
+
+    crash:p=0.2,seed=7;hang:p=0.05,seed=8;delay:p=0.3,ms=20
+
+Each rule takes ``p`` (trigger probability, default 1), ``seed`` (decision
+seed, default 0), ``ms`` (delay length, ``delay`` only) and ``attempts``
+(inject only while ``attempt < attempts`` — ``attempts=1`` faults every
+task's first attempt and lets every retry succeed, the bounded-chaos shape
+CI uses).  The first triggering rule wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+#: environment variable carrying the fault spec (parent and workers)
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+#: the fault kinds a rule may inject
+FAULT_KINDS = ("crash", "hang", "delay")
+
+#: exit code of fault-injected worker crashes (distinguishable from real
+#: segfaults / OOM kills in process tables and supervisor logs)
+CRASH_EXIT_CODE = 86
+
+#: how long a ``hang`` fault sleeps — far beyond any sane task deadline, so
+#: a hung worker is only ever recovered by the supervisor killing it
+HANG_SECONDS = 3600.0
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault kind with its trigger probability and parameters."""
+
+    kind: str
+    probability: float = 1.0
+    seed: int = 0
+    delay_ms: float = 10.0
+    #: inject only while ``attempt < max_attempts`` (``None`` = any attempt);
+    #: caps chaos below the supervisor's retry budget so recovery terminates
+    max_attempts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultSpecError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay_ms < 0:
+            raise FaultSpecError(f"delay ms must be >= 0, got {self.delay_ms}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise FaultSpecError(
+                f"attempts cap must be >= 1, got {self.max_attempts}"
+            )
+
+    def triggers(self, task_id: int, attempt: int) -> bool:
+        """Deterministic trigger decision for one task attempt."""
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            return False
+        if self.probability <= 0.0:
+            return False
+        if self.probability >= 1.0:
+            return True
+        token = f"{self.kind}:{self.seed}:{task_id}:{attempt}".encode("ascii")
+        draw = int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+        return draw / float(1 << 64) < self.probability
+
+    def describe(self) -> str:
+        """The rule in spec syntax (parse/describe round-trips)."""
+        parts = [f"p={self.probability:g}", f"seed={self.seed}"]
+        if self.kind == "delay":
+            parts.append(f"ms={self.delay_ms:g}")
+        if self.max_attempts is not None:
+            parts.append(f"attempts={self.max_attempts}")
+        return f"{self.kind}:{','.join(parts)}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules consulted at every task boundary."""
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan can never inject anything."""
+        return not any(rule.probability > 0.0 for rule in self.rules)
+
+    def decide(self, task_id: int, attempt: int) -> Optional[FaultRule]:
+        """The first rule triggering for this attempt (``None`` = run clean)."""
+        for rule in self.rules:
+            if rule.triggers(task_id, attempt):
+                return rule
+        return None
+
+    def inject(self, task_id: int, attempt: int) -> Optional[str]:
+        """Consult the plan and *perform* the fault; returns the kind injected.
+
+        ``crash`` does not return.  Called by workers at task boundaries;
+        never call this in the parent — quarantined serial re-execution is
+        deliberately fault-free, which is what makes the degradation ladder
+        terminate.
+        """
+        rule = self.decide(task_id, attempt)
+        if rule is None:
+            return None
+        if rule.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if rule.kind == "hang":
+            time.sleep(HANG_SECONDS)
+        else:
+            time.sleep(rule.delay_ms / 1000.0)
+        return rule.kind
+
+    def describe(self) -> str:
+        """The plan in spec syntax (empty string for the empty plan)."""
+        return ";".join(rule.describe() for rule in self.rules)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """An explicit no-faults plan (overrides ``$REPRO_FAULT_SPEC``)."""
+        return cls(())
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse ``kind:p=...,seed=...[;kind:...]`` into a plan."""
+        rules = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, _, params = chunk.partition(":")
+            kwargs = {"kind": kind.strip()}
+            for pair in params.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                key, eq, value = pair.partition("=")
+                key = key.strip()
+                if not eq:
+                    raise FaultSpecError(
+                        f"fault parameter {pair!r} is not key=value (in {chunk!r})"
+                    )
+                try:
+                    if key in ("p", "probability"):
+                        kwargs["probability"] = float(value)
+                    elif key == "seed":
+                        kwargs["seed"] = int(value)
+                    elif key == "ms":
+                        kwargs["delay_ms"] = float(value)
+                    elif key == "attempts":
+                        kwargs["max_attempts"] = int(value)
+                    else:
+                        raise FaultSpecError(
+                            f"unknown fault parameter {key!r} (in {chunk!r})"
+                        )
+                except ValueError as error:
+                    if isinstance(error, FaultSpecError):
+                        raise
+                    raise FaultSpecError(
+                        f"fault parameter {pair!r} is not numeric (in {chunk!r})"
+                    ) from None
+            rules.append(FaultRule(**kwargs))
+        return cls(tuple(rules))
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "FaultPlan":
+        """The plan ``$REPRO_FAULT_SPEC`` describes (empty when unset)."""
+        spec = (environ if environ is not None else os.environ).get(FAULT_SPEC_ENV)
+        if not spec:
+            return cls.none()
+        return cls.parse(spec)
+
+
+def resolve_fault_plan(plan: "FaultPlan | str | None") -> FaultPlan:
+    """Normalise a plan argument: ``None`` → env, ``str`` → parsed, plan → itself."""
+    if plan is None:
+        return FaultPlan.from_env()
+    if isinstance(plan, str):
+        return FaultPlan.parse(plan)
+    return plan

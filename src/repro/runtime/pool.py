@@ -18,17 +18,31 @@ Design points:
   (hard crash, ``os._exit``) is detected and reported instead of hanging;
 * **graceful degradation** — :meth:`ParallelRuntime.create` returns ``None``
   on platforms that cannot provide process pools (missing semaphores,
-  restricted sandboxes); callers fall back to bit-identical serial paths.
+  restricted sandboxes); callers fall back to bit-identical serial paths;
+* **fault injection** — workers consult a :class:`~repro.runtime.faults.
+  FaultPlan` (``$REPRO_FAULT_SPEC``) at every task boundary, so crash/hang
+  recovery is reproducibly testable;
+* **orphan cleanup** — an :mod:`atexit` hook closes every still-open pool
+  when the parent exits without :meth:`close`, so crashed CLIs never leave
+  worker processes behind.
+
+This class is the *mechanism* layer: it detects death but treats it as
+fatal for the call.  :class:`repro.runtime.supervisor.SupervisedRuntime`
+builds retry/respawn/quarantine *policy* on top; :class:`LazyRuntime`
+hands consumers a supervised pool by default.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-import queue as queue_module
+import time
 import traceback
 import warnings
-from typing import Any, Dict, List, Optional, Sequence
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.faults import FaultPlan, resolve_fault_plan
 from repro.runtime.tasks import TASKS
 
 #: set to force pool creation on single-core hosts (tests, debugging)
@@ -42,6 +56,29 @@ _POLL_SECONDS = 0.1
 
 #: seconds to wait for a worker to exit after the shutdown sentinel
 _JOIN_SECONDS = 5.0
+
+#: pools not yet closed — swept by the atexit hook below
+_LIVE_RUNTIMES: "weakref.WeakSet[ParallelRuntime]" = weakref.WeakSet()
+_atexit_registered = False
+
+
+def _close_leaked_runtimes() -> None:  # pragma: no cover - exit-path hook
+    """Close pools the owner never closed (atexit; owner process only)."""
+    for runtime in list(_LIVE_RUNTIMES):
+        if runtime._owner_pid != os.getpid():
+            continue  # forked child inheriting the set must not reap them
+        try:
+            runtime.close()
+        except Exception:
+            pass
+
+
+def _track_runtime(runtime: "ParallelRuntime") -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(_close_leaked_runtimes)
+    _LIVE_RUNTIMES.add(runtime)
 
 
 class WorkerError(RuntimeError):
@@ -57,33 +94,51 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def _worker_main(worker_id: int, inbox, outbox) -> None:
-    """Worker loop: run registered tasks against a persistent context."""
-    import pickle
+def _worker_main(worker_id: int, inbox, writer, fault_spec: Optional[str]) -> None:
+    """Worker loop: run registered tasks against a persistent context.
 
+    Results travel over a **per-worker pipe**, not a shared queue.  A shared
+    ``multiprocessing.Queue`` writes through a feeder thread holding a lock
+    shared by every worker — a worker dying mid-write (``os._exit``, OOM
+    kill, supervisor terminate) leaves that lock held forever and wedges
+    the whole pool.  With one pipe per worker, a death can only ever
+    corrupt that worker's own stream; the parent sees EOF, discards the
+    pipe, and the rest of the pool is untouched.  ``Connection.send``
+    pickles *before* writing, so a pickling error surfaces through the
+    normal error path instead of a torn frame.
+    """
+    plan = FaultPlan.parse(fault_spec) if fault_spec else FaultPlan.none()
     context: Dict[str, Any] = {"worker_id": worker_id}
     while True:
         message = inbox.get()
         if message is None:
             break
-        task_id, name, payload = message
+        task_id, attempt, name, payload = message
         try:
+            # fault injection happens at the task boundary, before any work:
+            # a crash here models an OOM-kill, a hang models a wedged worker,
+            # and neither can leave a half-written result behind
+            plan.inject(task_id, attempt)
             fn = TASKS[name]
             result = fn(payload, context)
-            # the outbox pickles in a feeder thread, where a pickling error
-            # would silently drop the message and hang the parent; failing
-            # here instead routes it through the error path below
-            pickle.dumps(result)
-            outbox.put((worker_id, task_id, True, result))
+            writer.send((worker_id, task_id, attempt, True, result))
         except BaseException as error:  # noqa: BLE001 - forwarded to parent
             detail = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
-            outbox.put((worker_id, task_id, False, detail))
+            try:
+                writer.send((worker_id, task_id, attempt, False, detail))
+            except Exception:  # pragma: no cover - pipe gone: die visibly
+                os._exit(1)
 
 
 class ParallelRuntime:
     """Persistent worker processes executing registered tasks."""
 
-    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        fault_plan: "FaultPlan | str | None" = None,
+    ) -> None:
         import multiprocessing as mp
 
         if workers < 1:
@@ -96,30 +151,65 @@ class ParallelRuntime:
         self._ctx = mp.get_context(start_method)
         self.workers = workers
         self.start_method = start_method
-        self._outbox = self._ctx.Queue()
-        self._inboxes = [self._ctx.SimpleQueue() for _ in range(workers)]
-        self._processes = []
+        self.fault_plan = resolve_fault_plan(fault_plan)
+        self._inboxes: List[Any] = [None] * workers
+        self._readers: List[Any] = [None] * workers
+        self._processes: List[Any] = [None] * workers
         self._closed = False
         self._task_counter = 0
-        for worker_id, inbox in enumerate(self._inboxes):
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(worker_id, inbox, self._outbox),
-                daemon=True,
-                name=f"repro-runtime-{worker_id}",
-            )
-            process.start()
-            self._processes.append(process)
+        self._owner_pid = os.getpid()
+        for worker_id in range(workers):
+            self._spawn_worker(worker_id)
+        _track_runtime(self)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """(Re)start worker ``worker_id`` with a **fresh** inbox.
+
+        A fresh inbox on respawn is load-bearing: tasks queued to the dead
+        incarnation must not be consumed by the new one — the supervisor
+        re-dispatches them from its own bookkeeping, so a stale queue would
+        mean double execution.
+        """
+        inbox = self._ctx.SimpleQueue()
+        reader, writer = self._ctx.Pipe(duplex=False)
+        spec = self.fault_plan.describe() or None
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, writer, spec),
+            daemon=True,
+            name=f"repro-runtime-{worker_id}",
+        )
+        process.start()
+        # the child now holds the only writer, so worker death surfaces as
+        # EOF on the reader — event-driven, not poll-driven, detection
+        writer.close()
+        self._close_reader(worker_id)
+        self._inboxes[worker_id] = inbox
+        self._readers[worker_id] = reader
+        self._processes[worker_id] = process
+
+    def _close_reader(self, worker_id: int) -> None:
+        reader = self._readers[worker_id]
+        if reader is not None:
+            try:
+                reader.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._readers[worker_id] = None
 
     # ------------------------------------------------------------------ #
     # construction with degradation
     # ------------------------------------------------------------------ #
     @classmethod
-    def create(cls, workers: Optional[int] = None) -> Optional["ParallelRuntime"]:
+    def create(
+        cls,
+        workers: Optional[int] = None,
+        fault_plan: "FaultPlan | str | None" = None,
+    ) -> Optional["ParallelRuntime"]:
         """A runtime, or ``None`` where the platform cannot provide one."""
         count = resolve_workers(workers)
         try:
-            return cls(count)
+            return cls(count, fault_plan=fault_plan)
         except (OSError, ValueError, RuntimeError, ImportError):
             # restricted sandboxes (no semaphores / fork) — callers degrade
             # to their serial paths, which produce identical results
@@ -143,8 +233,8 @@ class ParallelRuntime:
         first_id = self._task_counter
         self._task_counter += len(payloads)
         for index, payload in enumerate(payloads):
-            self._inboxes[index % self.workers].put((first_id + index,
-                                                     task, payload))
+            self._inboxes[index % self.workers].put(
+                (first_id + index, 0, task, payload))
         return self._drain(first_id, len(payloads))
 
     def broadcast(self, task: str, payload: Any) -> List[Any]:
@@ -153,8 +243,34 @@ class ParallelRuntime:
         first_id = self._task_counter
         self._task_counter += self.workers
         for offset, inbox in enumerate(self._inboxes):
-            inbox.put((first_id + offset, task, payload))
+            inbox.put((first_id + offset, 0, task, payload))
         return self._drain(first_id, self.workers)
+
+    def _poll_results(
+        self, timeout: float
+    ) -> Tuple[List[Tuple[int, int, int, bool, Any]], List[int]]:
+        """One wait on every worker pipe -> (messages, EOF'd worker ids).
+
+        Messages already buffered on a pipe are drained *before* its EOF is
+        reported, so a worker that finished a task and then died never loses
+        the finished result.
+        """
+        from multiprocessing import connection
+
+        readers = [r for r in self._readers if r is not None and not r.closed]
+        messages: List[Tuple[int, int, int, bool, Any]] = []
+        dead: List[int] = []
+        if not readers:
+            time.sleep(timeout)
+            return messages, dead
+        for ready in connection.wait(readers, timeout):
+            worker_id = self._readers.index(ready)
+            try:
+                while ready.poll():
+                    messages.append(ready.recv())
+            except (EOFError, OSError):
+                dead.append(worker_id)
+        return messages, dead
 
     def _drain(self, first_id: int, count: int) -> List[Any]:
         """Collect ``count`` results, raising on task errors or dead workers."""
@@ -162,24 +278,27 @@ class ParallelRuntime:
         received = 0
         failure: Optional[str] = None
         while received < count:
-            try:
-                _, task_id, ok, value = self._outbox.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                dead = [p.name for p in self._processes if not p.is_alive()]
-                if dead:
-                    self._shutdown(force=True)
-                    raise WorkerError(
-                        "worker process died while running tasks: "
-                        + ", ".join(dead)
-                    ) from None
-                continue
-            if not (first_id <= task_id < first_id + count):
-                continue  # stray result from an aborted earlier call
-            received += 1
-            if ok:
-                results[task_id - first_id] = value
-            elif failure is None:
-                failure = str(value)
+            messages, eof = self._poll_results(_POLL_SECONDS)
+            for _, task_id, _, ok, value in messages:
+                if not (first_id <= task_id < first_id + count):
+                    continue  # stray result from an aborted earlier call
+                received += 1
+                if ok:
+                    results[task_id - first_id] = value
+                elif failure is None:
+                    failure = str(value)
+            if received >= count:
+                break
+            dead = [self._processes[w].name for w in eof]
+            if not dead:
+                dead = [p.name for p in self._processes
+                        if p is not None and not p.is_alive()]
+            if dead:
+                self._shutdown(force=True)
+                raise WorkerError(
+                    "worker process died while running tasks: "
+                    + ", ".join(sorted(set(dead)))
+                ) from None
         if failure is not None:
             raise WorkerError(f"runtime task failed in worker:\n{failure}")
         return results
@@ -212,10 +331,14 @@ class ParallelRuntime:
             except (OSError, ValueError):  # pragma: no cover - queue torn down
                 pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(0.0 if force else _JOIN_SECONDS)
             if process.is_alive():
                 process.terminate()
                 process.join(_JOIN_SECONDS)
+        for worker_id in range(self.workers):
+            self._close_reader(worker_id)
 
     def __enter__(self) -> "ParallelRuntime":
         return self
@@ -231,7 +354,7 @@ class ParallelRuntime:
 
 
 class LazyRuntime:
-    """Create-once/close-once ownership of a :class:`ParallelRuntime`.
+    """Create-once/close-once ownership of a supervised runtime pool.
 
     The shared lifecycle every runtime consumer (sweep executor, schedule
     optimizer, network runner, functional engine) needs:
@@ -240,17 +363,22 @@ class LazyRuntime:
       (that is what makes the workers persistent);
     * a failed creation (pool-less platform) is remembered, so serial
       degradation does not retry the expensive probe on every call;
-    * a pool that closed itself (a worker died mid-task) is *replaced* on
-      the next :meth:`get` — one crash propagates as
-      :class:`WorkerError`, it does not poison the owner forever;
+    * a pool that closed itself is *replaced* on the next :meth:`get` —
+      one fatal crash does not poison the owner forever;
     * ``task_hint`` caps creation at the useful size, so three pending
       points never fork a 64-core pool — and a later call with more work
       **grows** the pool (replacing the small one) rather than staying
       pinned to the first call's size.
+
+    Pools handed out are :class:`~repro.runtime.supervisor.
+    SupervisedRuntime` instances, so worker crashes, hangs and poison
+    tasks are retried/respawned/quarantined instead of aborting the run.
+    An explicit ``policy`` overrides the environment-derived retry policy.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(self, workers: Optional[int] = None, policy=None) -> None:
         self.workers = workers
+        self.policy = policy
         self._runtime: Optional[ParallelRuntime] | bool = None
 
     @property
@@ -287,9 +415,15 @@ class LazyRuntime:
         # dead pool, or live-but-smaller than this call can use: replace
         # (pools only ever grow; a later small call reuses the big pool)
         self.close()
-        self._runtime = ParallelRuntime.create(target) or False
+        # create() resolves through the MRO, so SupervisedRuntime instances
+        # come out of ParallelRuntime.create's degradation funnel
+        from repro.runtime.supervisor import SupervisedRuntime
+
+        self._runtime = SupervisedRuntime.create(target) or False
         runtime = self.runtime
         if runtime is not None:
+            if self.policy is not None and hasattr(runtime, "policy"):
+                runtime.policy = self.policy
             # pre-warm the kernel backend once per worker, so JIT compilation
             # (numba backend) never lands inside a timed or per-layer task
             from repro.kernels import resolve_backend_name

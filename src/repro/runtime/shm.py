@@ -16,6 +16,9 @@ degradation guarantee of the rest of the runtime.
 
 from __future__ import annotations
 
+import atexit
+import os
+import weakref
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -25,6 +28,32 @@ try:  # restricted sandboxes may lack the shared-memory primitives entirely
     from multiprocessing import shared_memory as _shared_memory
 except ImportError:  # pragma: no cover - platform dependent
     _shared_memory = None
+
+#: owner-side tensors not yet unlinked — swept by the atexit hook so a
+#: parent crashing between create() and unlink() never leaks /dev/shm
+#: segments past process exit
+_OWNED: "weakref.WeakSet[SharedTensor]" = weakref.WeakSet()
+_atexit_registered = False
+
+
+def _unlink_leaked_tensors() -> None:  # pragma: no cover - exit-path hook
+    """Unlink segments the owner never unlinked (atexit; owner side only)."""
+    for tensor in list(_OWNED):
+        if getattr(tensor, "_owner_pid", None) != os.getpid():
+            continue  # forked child inheriting the set must not unlink
+        try:
+            tensor.unlink()
+        except Exception:
+            pass
+
+
+def _track_owned(tensor: "SharedTensor") -> None:
+    global _atexit_registered
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(_unlink_leaked_tensors)
+    tensor._owner_pid = os.getpid()
+    _OWNED.add(tensor)
 
 
 def _attach(name: str):
@@ -53,7 +82,7 @@ def _attach(name: str):
         resource_tracker.register = original
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics; hashable for the WeakSet above
 class SharedTensor:
     """Picklable handle to a NumPy array living in shared memory.
 
@@ -61,6 +90,8 @@ class SharedTensor:
     fallback payload) is set.  The parent that called :meth:`create` owns the
     segment and must call :meth:`unlink` when every consumer is done;
     attaching processes call :meth:`open` / :meth:`close` around their use.
+    Owner-side handles are additionally swept by an ``atexit`` hook, so an
+    owner exiting without :meth:`unlink` does not leak the segment.
     """
 
     shape: Tuple[int, ...]
@@ -90,6 +121,7 @@ class SharedTensor:
                 handle = cls(shape=array.shape, dtype=str(array.dtype),
                              name=segment.name)
                 handle._segments.append(segment)
+                _track_owned(handle)
                 return handle
         return cls(shape=array.shape, dtype=str(array.dtype),
                    inline=array.copy())

@@ -38,7 +38,8 @@ def _selftest(payload: Dict[str, Any], context: Dict[str, Any]) -> Any:
 
     ``action`` selects the behaviour: ``echo`` returns ``value`` along with
     the worker id, ``raise`` throws (error-propagation path), ``exit`` kills
-    the worker process outright (dead-worker detection path), ``count``
+    the worker process outright (dead-worker detection path), ``sleep``
+    stalls for ``value`` seconds (deadline/straggler path), ``count``
     increments a per-worker counter (persistent-context proof).
     """
     action = payload.get("action", "echo")
@@ -46,6 +47,11 @@ def _selftest(payload: Dict[str, Any], context: Dict[str, Any]) -> Any:
         raise RuntimeError(payload.get("value", "selftest failure"))
     if action == "exit":
         os._exit(int(payload.get("value", 1)))
+    if action == "sleep":
+        import time
+
+        time.sleep(float(payload.get("value", 0.0)))
+        return {"worker_id": context["worker_id"], "slept": True}
     if action == "count":
         context["selftest_count"] = context.get("selftest_count", 0) + 1
         return {"worker_id": context["worker_id"],

@@ -33,7 +33,7 @@ from repro.cnn.quantize import choose_format
 from repro.cnn.reference import strided_windows
 from repro.core.config import ChainConfig
 from repro.errors import WorkloadError
-from repro.runtime import LazyRuntime, ParallelRuntime
+from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
 from repro.sim.functional import (
     FunctionalChainSimulator,
     FunctionalRunResult,
@@ -195,12 +195,15 @@ class FunctionalNetworkRunner:
         (`tests/test_runtime.py` holds this in the equivalence gate).
         """
         runtime = self._ensure_runtime()
-        if runtime is None:
-            return self.simulator.run_layer(layer, activations, weights,
-                                            stripe_height=stripe_height)
-        return self.simulator.run_layer_parallel(layer, activations, weights,
-                                                 runtime,
-                                                 stripe_height=stripe_height)
+        if runtime is not None:
+            try:
+                return self.simulator.run_layer_parallel(
+                    layer, activations, weights, runtime,
+                    stripe_height=stripe_height)
+            except WorkerError:
+                pass  # degradation ladder's last rung: the serial layer walk
+        return self.simulator.run_layer(layer, activations, weights,
+                                        stripe_height=stripe_height)
 
     def run(self, network: Network,
             stripe_heights: Optional[Dict[str, int]] = None) -> NetworkRunResult:

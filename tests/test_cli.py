@@ -317,3 +317,15 @@ class TestCacheCommands:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert main(["cache", "stats"]) == 0
         assert str(tmp_path) in capsys.readouterr().out
+
+    def test_stats_on_empty_cache_dir_keeps_that_dir(self, capsys, tmp_path):
+        # RunCache defines __len__, so an *empty* cache is falsy; the command
+        # must not let truthiness chaining swap a --cache-dir selection for
+        # the default root
+        cache_dir = str(tmp_path / "empty-cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--cache-max-mb", "16"]) == 0
+        out = capsys.readouterr().out
+        assert cache_dir in out
+        assert "entries    : 0" in out
+        assert "16.0 MiB" in out

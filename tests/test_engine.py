@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
@@ -159,18 +161,108 @@ class TestCache:
         assert len(cache) == 1
         assert cache.clear() == 1
 
-    def test_corrupt_entry_is_a_miss(self, network, tmp_path):
+    def test_corrupt_entry_is_quarantined(self, network, tmp_path, monkeypatch):
+        """Corrupt records are misses, moved aside, and warned about once."""
+        import warnings
+
+        import repro.engine.cache as cache_module
+
+        monkeypatch.setattr(cache_module, "_warned_corrupt", False)
         cache = RunCache(tmp_path)
         engine = create_engine("analytical")
         key = run_key(engine, network, None, 4)
         cache.root.mkdir(parents=True, exist_ok=True)
         cache.path_for(key).write_text("not json")
-        assert cache.get(key) is None
-        cache.path_for(key).write_text(
+        with pytest.warns(RuntimeWarning, match="quarantined corrupt"):
+            assert cache.get(key) is None
+        # the slot is free again and the bytes survive for inspection
+        assert not cache.path_for(key).exists()
+        quarantined = cache.path_for(key).with_name(f"{key}.json.corrupt")
+        assert quarantined.read_text() == "not json"
+        # structurally-wrong JSON is quarantined too, silently this time
+        other = run_key(engine, network, None, 8)
+        cache.path_for(other).write_text(
             '{"engine": "analytical", "network": "x", "batch": 4,'
             ' "metrics": {"fps": null}}')
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(other) is None
+        assert cache.misses == 2 and cache.quarantined == 2
+        assert cache.stats()["corrupt"] == 2
+
+    def test_missing_entry_is_a_plain_miss(self, network, tmp_path):
+        """Absent files miss without quarantine machinery kicking in."""
+        cache = RunCache(tmp_path)
+        key = run_key(create_engine("analytical"), network, None, 4)
         assert cache.get(key) is None
-        assert cache.misses == 2
+        assert cache.misses == 1 and cache.quarantined == 0
+
+    def test_stats_and_clear_cover_crash_debris(self, network, tmp_path):
+        """Orphaned *.tmp spool files are counted, and clear() reaps them."""
+        cache = RunCache(tmp_path)
+        engine = create_engine("analytical")
+        record = engine.evaluate(network, None, 4)
+        cache.put(run_key(engine, network, None, 4), record)
+        (tmp_path / "spoolXYZ.tmp").write_text("torn write")
+        (tmp_path / "deadbeef.json.corrupt").write_text("quarantined")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["tmp_orphans"] == 1
+        assert stats["corrupt"] == 1
+        # clear() reaps everything but reports only live records
+        assert cache.clear() == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob("*.corrupt")) == []
+        assert cache.stats()["tmp_orphans"] == 0
+
+    def test_lru_eviction_bounds_size(self, network, tmp_path):
+        """A bounded cache evicts least-recently-USED records (hits protect)."""
+        cache = RunCache(tmp_path)
+        engine = create_engine("analytical")
+        record = engine.evaluate(network, None, 4)
+        keys = [run_key(engine, network, None, batch) for batch in (1, 2, 3)]
+        cache.put(keys[0], record)
+        size = cache.path_for(keys[0]).stat().st_size
+        cache.put(keys[1], record)
+        # age both records, then touch key 0 through a hit: key 1 becomes LRU
+        old = time.time() - 3600
+        for key in keys[:2]:
+            os.utime(cache.path_for(key), (old, old))
+        assert cache.get(keys[0]) is not None
+        cache.max_bytes = int(2.5 * size)  # room for two records, not three
+        cache.put(keys[2], record)
+        assert cache.evictions == 1
+        assert not cache.path_for(keys[1]).exists()
+        assert cache.path_for(keys[0]).exists()
+        assert cache.path_for(keys[2]).exists()
+
+    def test_eviction_reaps_stale_tmp_orphans(self, network, tmp_path):
+        """Bounded puts sweep crash orphans older than the in-flight window."""
+        cache = RunCache(tmp_path, max_mb=100.0)
+        stale = tmp_path / "stale.tmp"
+        stale.write_text("orphan")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "fresh.tmp"
+        fresh.write_text("live writer")
+        engine = create_engine("analytical")
+        cache.put(run_key(engine, network, None, 4),
+                  engine.evaluate(network, None, 4))
+        assert not stale.exists()  # reaped: far older than any live spool
+        assert fresh.exists()  # plausibly a concurrent writer mid-spool
+
+    def test_max_mb_from_environment(self, tmp_path, monkeypatch):
+        from repro.engine.cache import CACHE_MAX_MB_ENV
+
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "2")
+        assert RunCache(tmp_path).max_bytes == 2 * 1024 * 1024
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "not-a-number")
+        assert RunCache(tmp_path).max_bytes is None
+        monkeypatch.delenv(CACHE_MAX_MB_ENV)
+        assert RunCache(tmp_path).max_bytes is None
+        assert RunCache(tmp_path, max_mb=1.0).max_bytes == 1024 * 1024
+        with pytest.raises(ValueError):
+            RunCache(tmp_path, max_mb=-1.0)
 
 
 class TestCacheInvalidation:

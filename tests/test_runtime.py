@@ -15,6 +15,7 @@ from repro.core.config import ChainConfig
 from repro.engine.executor import SweepExecutor
 from repro.mapping import ScheduleOptimizer
 from repro.runtime import (
+    FaultPlan,
     LazyRuntime,
     ParallelRuntime,
     SharedTensor,
@@ -36,8 +37,14 @@ def force_parallel(monkeypatch):
 
 @pytest.fixture(scope="module")
 def runtime():
-    """One two-worker pool shared by the mechanics tests (persistent!)."""
-    pool = ParallelRuntime.create(2)
+    """One two-worker pool shared by the mechanics tests (persistent!).
+
+    The explicit empty fault plan overrides ``$REPRO_FAULT_SPEC``: the
+    unsupervised base pool treats injected crashes as fatal, so these
+    mechanics tests must stay deterministic even under the CI chaos leg
+    (supervised recovery is covered by tests/test_faults.py).
+    """
+    pool = ParallelRuntime.create(2, fault_plan=FaultPlan.none())
     if pool is None:
         pytest.skip("platform cannot provide process pools")
     yield pool
@@ -75,7 +82,7 @@ class TestPoolMechanics:
             runtime.map("no.such.task", [None])
 
     def test_worker_death_is_detected(self):
-        pool = ParallelRuntime.create(2)
+        pool = ParallelRuntime.create(2, fault_plan=FaultPlan.none())
         if pool is None:
             pytest.skip("platform cannot provide process pools")
         with pytest.raises(WorkerError, match="died"):
@@ -105,16 +112,29 @@ class TestPoolMechanics:
 
 
 class TestLazyRuntime:
-    def test_pool_is_replaced_after_worker_death(self):
+    def test_hands_out_supervised_pools(self):
+        """Consumers get the fault-tolerant runtime, not the bare pool
+        (worker-death recovery itself is covered by tests/test_faults.py)."""
+        from repro.runtime import SupervisedRuntime
+
         owner = LazyRuntime(2)
         pool = owner.get()
         if pool is None:
             pytest.skip("platform cannot provide process pools")
         try:
-            with pytest.raises(WorkerError, match="died"):
-                pool.map("runtime.selftest", [{"action": "exit"}])
-            # one crash must not poison the owner: the next get() replaces
-            # the dead pool and tasks run again
+            assert isinstance(pool, SupervisedRuntime)
+        finally:
+            owner.close()
+
+    def test_pool_is_replaced_after_loss(self):
+        owner = LazyRuntime(2)
+        pool = owner.get()
+        if pool is None:
+            pytest.skip("platform cannot provide process pools")
+        try:
+            pool.close()  # what a fatal pool loss leaves behind
+            # one lost pool must not poison the owner: the next get()
+            # replaces it and tasks run again
             fresh = owner.get()
             assert fresh is not pool and not fresh.closed
             result = fresh.map("runtime.selftest",
