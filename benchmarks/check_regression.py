@@ -51,6 +51,10 @@ WATCHED_FIELDS: Dict[str, List[str]] = {
     # asserts its own bit-identity and (in timing mode) the 5% overhead
     # budget, so the record is tracked but not ratio-gated
     "faults": [],
+    # both fields are deterministic model outputs (no wall clock): the
+    # modeled multiply reduction of the worst eligible VGG-16 layer and the
+    # modeled cycle speedup the algorithm axis buys on VGG-16 throughput
+    "winograd": ["vgg16_min_mac_reduction", "vgg16_throughput_cycle_speedup"],
 }
 
 

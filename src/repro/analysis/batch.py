@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.pareto import objective_matrix, pareto_mask, top_k_indices
+from repro.analysis.winograd import winograd_cost_fields, winograd_eligible
 from repro.cnn.network import Network
 from repro.core.config import MAINSTREAM_KERNEL_SIZES, ChainConfig
 from repro.core.dataflow import DataflowPlanner
@@ -675,6 +676,9 @@ class MappingBatchEvaluator:
         self.channel_pairs = layer.channel_pairs()
         self.per_stripe_cycles = per_stripe_cycles_paper(layer)
         self.ofmap_words = layer.out_height * layer.out_width * layer.out_channels
+        self.winograd_eligible = winograd_eligible(layer)
+        wino_fields = (winograd_cost_fields(layer) if self.winograd_eligible
+                       else {})
         self._params = MappingCostParams(
             kernel_area=self.kernel_area,
             channel_pairs=self.channel_pairs,
@@ -695,6 +699,7 @@ class MappingBatchEvaluator:
             imemory_access_j=self.energy.imemory_access_j,
             omemory_access_j=self.energy.omemory_access_j,
             dram_byte_j=self.energy.dram_byte_j,
+            **wino_fields,
         )
 
     def evaluate(
@@ -703,22 +708,53 @@ class MappingBatchEvaluator:
         stripe_height: np.ndarray,
         chunk: np.ndarray,
         interleave_image: np.ndarray,
+        winograd: Optional[np.ndarray] = None,
     ) -> Dict[str, np.ndarray]:
         """Score candidate columns; returns :data:`MAPPING_RESULT_COLUMNS`.
 
-        All four inputs are equally-long 1D arrays (``interleave_image`` is
-        boolean: True for the image-major schedule).  Legality is assumed to
-        have been established by the map-space (use
+        The first four inputs are equally-long 1D arrays (``interleave_image``
+        is boolean: True for the image-major schedule).  ``winograd`` is an
+        optional boolean column selecting the F(2x2,3x3) transform-domain
+        cost model per candidate; ``None`` (or all-False) is the direct path,
+        byte-for-byte the pre-algorithm-axis behaviour.  Legality is assumed
+        to have been established by the map-space (use
         :meth:`repro.core.mapper.LayerMapper.map_layer_with` /
         :class:`repro.mapping.LayerMapSpace` to validate candidates).
         """
-        return get_backend(self.kernel_backend).score_mappings(
-            self._params,
-            np.asarray(primitives, dtype=np.int64),
-            np.asarray(stripe_height, dtype=np.int64),
-            np.asarray(chunk, dtype=np.int64),
-            np.asarray(interleave_image, dtype=bool),
-        )
+        backend = get_backend(self.kernel_backend)
+        primitives = np.asarray(primitives, dtype=np.int64)
+        stripe_height = np.asarray(stripe_height, dtype=np.int64)
+        chunk = np.asarray(chunk, dtype=np.int64)
+        interleave_image = np.asarray(interleave_image, dtype=bool)
+        if winograd is None:
+            return backend.score_mappings(
+                self._params, primitives, stripe_height, chunk,
+                interleave_image)
+        winograd = np.asarray(winograd, dtype=bool)
+        if not winograd.any():
+            return backend.score_mappings(
+                self._params, primitives, stripe_height, chunk,
+                interleave_image)
+        if not self.winograd_eligible:
+            raise ConfigurationError(
+                f"{self.layer.name}: winograd candidates on a layer that is "
+                f"not F(2x2,3x3)-eligible (needs kernel_size=3, stride=1)")
+        wino = backend.score_mappings_winograd(
+            self._params, primitives[winograd], chunk[winograd],
+            interleave_image[winograd])
+        if winograd.all():
+            return wino
+        direct_mask = ~winograd
+        direct = backend.score_mappings(
+            self._params, primitives[direct_mask], stripe_height[direct_mask],
+            chunk[direct_mask], interleave_image[direct_mask])
+        merged: Dict[str, np.ndarray] = {}
+        for name in MAPPING_RESULT_COLUMNS:
+            column = np.empty(winograd.shape[0], dtype=direct[name].dtype)
+            column[direct_mask] = direct[name]
+            column[winograd] = wino[name]
+            merged[name] = column
+        return merged
 
 
 def worst_case_utilization_array(

@@ -28,10 +28,16 @@ writing any Python:
   schedules and optionally ``--verify`` every searched mapping against the
   im2col golden reference;
 * ``networks``    — list the network zoo with per-network layer counts,
-  MACs and parameter totals;
+  MACs, parameter totals and Winograd-eligible MAC coverage;
 * ``bench``       — run a registered benchmark (``sweep``, ``cycle``,
-  ``functional``, ``mapping``, ``parallel``, ``kernels``, ``faults`` or
-  ``all``) and write its ``BENCH_*.json`` trajectory record.
+  ``functional``, ``mapping``, ``parallel``, ``kernels``, ``faults``,
+  ``winograd`` or ``all``) and write its ``BENCH_*.json`` trajectory record.
+
+``run``/``map``/``verify`` take ``--algorithm {direct,winograd,auto}`` to
+select the conv execution algorithm: ``winograd`` runs (or pins the search
+to) the Winograd F(2x2,3x3) transform domain on eligible 3x3-stride-1
+layers, ``auto`` lets the mapping search pick direct vs Winograd per layer
+under the never-worse guarantee.
 
 Every command takes ``--pes`` and ``--frequency-mhz`` so non-paper
 instantiations can be explored from the shell, plus ``--kernel-backend
@@ -60,6 +66,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.analysis.batch import DEFAULT_OBJECTIVES, HIGHER_IS_BETTER
+from repro.analysis.winograd import network_winograd_coverage, winograd_eligible
 from repro.analysis.report import render_bar_chart, render_dict_table, render_table
 from repro.analysis.sweep import DesignSpaceExplorer
 from repro.cnn.generator import WorkloadGenerator
@@ -78,6 +85,7 @@ from repro.engine import (
 from repro.hwmodel.clock import ClockDomain
 from repro.kernels import KERNEL_BACKEND_ENV, KNOWN_BACKENDS, set_default_backend
 from repro.mapping import OBJECTIVES, STRATEGIES, ScheduleOptimizer, make_strategy
+from repro.mapping.mapspace import ALGORITHM_MODES
 from repro.runtime.supervisor import DEADLINE_ENV, RETRIES_ENV
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
@@ -164,6 +172,17 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"only, not {args.engine}", file=sys.stderr)
             return 2
         engine_kwargs["workers"] = args.workers
+    if args.algorithm != "direct":
+        # the algorithm axis exists where convolutions are actually executed
+        # or mapped; the closed-form analytical engines model direct only
+        algorithm_engines = ("functional", "functional-vectorized",
+                             "analytical-mapped")
+        if args.engine not in algorithm_engines:
+            print(f"error: --algorithm {args.algorithm} applies to "
+                  f"--engine {{{','.join(algorithm_engines)}}}, "
+                  f"not {args.engine}", file=sys.stderr)
+            return 2
+        engine_kwargs["algorithm"] = args.algorithm
     engine = create_engine(args.engine, **engine_kwargs)
     record = engine.evaluate(network, config, batch=args.batch)
 
@@ -408,6 +427,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     if args.sim == "functional":
         return _verify_functional(args)
+    if args.algorithm != "direct":
+        print("error: --algorithm applies to --sim functional only (the "
+              "cycle simulator executes the direct dataflow)", file=sys.stderr)
+        return 2
     if args.workers is not None:
         print("error: --workers applies to --sim functional only (the cycle "
               "cross-check runs tiny layers where fan-out cannot pay off)",
@@ -458,6 +481,7 @@ def cmd_networks(args: argparse.Namespace) -> int:
                         for layer in network.layers
                         if isinstance(layer, FullyConnectedLayer))
         conv_layers = network.conv_layers
+        coverage = network_winograd_coverage(network)
         entries[name] = {
             "network": network.name,
             "layers": len(network.layers),
@@ -468,6 +492,12 @@ def cmd_networks(args: argparse.Namespace) -> int:
             "total_weights": network.total_conv_weights + fc_params,
             "max_kernel": max((layer.kernel_size for layer in conv_layers),
                               default=0),
+            # which conv layers the Winograd F(2x2,3x3) mode can execute,
+            # and what fraction of the network's conv MACs they hold
+            "winograd_eligible": {
+                layer.name: winograd_eligible(layer) for layer in conv_layers
+            },
+            "winograd_mac_coverage": coverage["mac_coverage"],
         }
     if args.json:
         print(json.dumps(entries, indent=2, sort_keys=True))
@@ -480,6 +510,7 @@ def cmd_networks(args: argparse.Namespace) -> int:
             "conv params (M)": entry["conv_weights"] / 1e6,
             "total params (M)": entry["total_weights"] / 1e6,
             "max K": entry["max_kernel"],
+            "wino MAC cov (%)": entry["winograd_mac_coverage"] * 100.0,
         }
         for name, entry in entries.items()
     }
@@ -512,6 +543,7 @@ def cmd_map(args: argparse.Namespace) -> int:
         batch=args.batch,
         cache=_cache_from_args(args),
         workers=args.workers,
+        algorithm=args.algorithm,
     )
     network = get_network(args.network)
     schedule = optimizer.optimize(network)
@@ -520,6 +552,20 @@ def cmd_map(args: argparse.Namespace) -> int:
 
     if args.json:
         payload = schedule.to_json_dict()
+        payload["algorithm_mode"] = args.algorithm
+        # flattened per-layer choice table: what the search actually picked,
+        # in a shape that is directly inspectable and diffable in CI (the
+        # nested layers/baseline records carry the full metric vectors)
+        payload["chosen"] = {
+            entry.layer_name: {
+                "algorithm": entry.candidate.algorithm,
+                "primitives": entry.candidate.primitives,
+                "stripe_height": entry.candidate.stripe_height,
+                "chunk": entry.candidate.chunk,
+                "interleave": entry.candidate.interleave,
+            }
+            for entry in schedule.layers
+        }
         if verification is not None:
             payload["verification"] = {
                 "passed": verification.passed,
@@ -528,9 +574,13 @@ def cmd_map(args: argparse.Namespace) -> int:
                 "layers": [
                     {
                         "layer": entry.layer_name,
+                        "algorithm": entry.candidate.algorithm,
                         "max_abs_error": entry.max_abs_error,
                         "bit_identical": entry.bit_identical,
                         "covers": list(entry.covers),
+                        "tolerance": (entry.tolerance
+                                      if entry.tolerance is not None
+                                      else verification.tolerance),
                     }
                     for entry in verification.layers
                 ],
@@ -562,6 +612,7 @@ BENCHMARKS = {
     "parallel": ("benchmarks/bench_parallel.py",),
     "kernels": ("benchmarks/bench_kernels.py",),
     "faults": ("benchmarks/bench_faults.py",),
+    "winograd": ("benchmarks/bench_winograd.py",),
 }
 
 
@@ -634,7 +685,7 @@ def _verify_functional(args: argparse.Namespace) -> int:
         return 2
     with FunctionalNetworkRunner(
         _config_from_args(args), backend=backend, seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, algorithm=args.algorithm,
     ) as runner:
         result = runner.run(network)
     print(result.describe())
@@ -685,6 +736,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=_positive_int, default=None,
                      help="worker processes for the functional-vectorized "
                           "engine's per-layer ofmap blocks (default: serial)")
+    run.add_argument("--algorithm", choices=ALGORITHM_MODES, default="direct",
+                     help="conv execution algorithm: winograd/auto run "
+                          "eligible 3x3-stride-1 layers in the transform "
+                          "domain (functional engines) or add the algorithm "
+                          "axis to the search (analytical-mapped)")
 
     experiments = sub.add_parser("experiments",
                                  help="regenerate every paper table and figure")
@@ -795,6 +851,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="candidates sampled by --strategy random")
     map_cmd.add_argument("--iterations", type=_positive_int, default=None,
                          help="steps of --strategy anneal")
+    map_cmd.add_argument("--algorithm", choices=ALGORITHM_MODES,
+                         default="direct",
+                         help="algorithm axis of the search: 'auto' lets the "
+                              "optimizer pick direct vs Winograd per layer, "
+                              "'winograd' forces the transform domain on "
+                              "eligible layers (default: direct only)")
     map_cmd.add_argument("--verify", action="store_true",
                          help="functionally verify every searched mapping "
                               "against the im2col golden reference")
@@ -833,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--workers", type=_positive_int, default=None,
                         help="worker processes for --sim functional ofmap "
                              "blocks (bit-identical to the serial path)")
+    verify.add_argument("--algorithm", choices=ALGORITHM_MODES,
+                        default="direct",
+                        help="run eligible 3x3-stride-1 layers through the "
+                             "Winograd F(2x2,3x3) transform domain "
+                             "(--sim functional; checked against the im2col "
+                             "golden within the documented tolerance)")
 
     bench = sub.add_parser(
         "bench",

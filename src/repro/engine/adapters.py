@@ -189,7 +189,7 @@ class MappedAnalyticalEngine(Engine):
     def __init__(self, config: Optional[ChainConfig] = None,
                  objective: str = "throughput", strategy: str = "exhaustive",
                  shortlist: int = 4, kernel_backend: Optional[str] = None,
-                 **strategy_kwargs) -> None:
+                 algorithm: str = "direct", **strategy_kwargs) -> None:
         from repro.kernels import resolve_backend_name
         from repro.mapping import make_strategy
 
@@ -198,6 +198,7 @@ class MappedAnalyticalEngine(Engine):
         self.objective = objective
         self.shortlist = shortlist
         self.kernel_backend = resolve_backend_name(kernel_backend)
+        self.algorithm = algorithm
         self.strategy = make_strategy(strategy, **strategy_kwargs)
         self._memo: Dict[str, Any] = {}
 
@@ -217,6 +218,7 @@ class MappedAnalyticalEngine(Engine):
                 batch=batch,
                 shortlist=self.shortlist,
                 kernel_backend=self.kernel_backend,
+                algorithm=self.algorithm,
             )
             self._memo[memo_key] = optimizer.optimize(network)
         return self._memo[memo_key]
@@ -250,7 +252,7 @@ class MappedAnalyticalEngine(Engine):
         )
 
     def fingerprint(self) -> Dict[str, Any]:
-        return {
+        fingerprint = {
             "name": self.name,
             "objective": self.objective,
             "strategy": self.strategy.fingerprint(),
@@ -261,6 +263,11 @@ class MappedAnalyticalEngine(Engine):
             # records attributable if a compiled backend ever misbehaves
             "kernels": backend_fingerprint(self.kernel_backend),
         }
+        # the algorithm axis only enters the key when it changes the search
+        # space, so pre-existing direct-mode cache entries remain valid
+        if self.algorithm != "direct":
+            fingerprint["algorithm"] = self.algorithm
+        return fingerprint
 
 
 class CycleEngine(Engine):
@@ -375,12 +382,17 @@ class FunctionalEngine(Engine):
 
     def __init__(self, seed: int = 2017, backend: str = "scalar",
                  workers: Optional[int] = None,
-                 kernel_backend: Optional[str] = None) -> None:
+                 kernel_backend: Optional[str] = None,
+                 algorithm: str = "direct") -> None:
         from repro.kernels import resolve_backend_name
 
         self.seed = seed
         self.backend = backend
         self.kernel_backend = resolve_backend_name(kernel_backend)
+        #: "direct" runs every layer on the sliding-window dataflow;
+        #: "winograd"/"auto" run eligible 3x3-stride-1 layers in the
+        #: transform domain (ineligible layers always stay direct)
+        self.algorithm = algorithm
         self.name = "functional" if backend == "scalar" else f"functional-{backend}"
         self._memo: Dict[str, Dict[str, Any]] = {}
         #: fan ofmap blocks over this many workers (vectorized backend only);
@@ -414,11 +426,21 @@ class FunctionalEngine(Engine):
         max_error = 0.0
         for layer in network.conv_layers:
             ifmaps, weights = generator.layer_pair(layer)
+            algorithm = "direct"
+            if self.algorithm != "direct":
+                # lazy: repro.analysis closes an import cycle back into this
+                # module, so the eligibility check cannot be a top-level import
+                from repro.analysis.winograd import winograd_eligible
+
+                if winograd_eligible(layer):
+                    algorithm = "winograd"
             if runtime is not None:
                 result = simulator.run_layer_parallel(layer, ifmaps, weights,
-                                                      runtime)
+                                                      runtime,
+                                                      algorithm=algorithm)
             else:
-                result = simulator.run_layer(layer, ifmaps, weights)
+                result = simulator.run_layer(layer, ifmaps, weights,
+                                             algorithm=algorithm)
             error = result.max_abs_error_vs_reference(ifmaps, weights)
             chain_cycles += result.chain_cycles_estimate
             windows_kept += result.stats.windows_kept
@@ -462,7 +484,7 @@ class FunctionalEngine(Engine):
         )
 
     def fingerprint(self) -> Dict[str, Any]:
-        return {
+        fingerprint = {
             "name": self.name,
             "seed": self.seed,
             "backend": self.backend,
@@ -470,6 +492,11 @@ class FunctionalEngine(Engine):
             # still records which one computed a cached result
             "kernels": backend_fingerprint(self.kernel_backend),
         }
+        # only a non-default algorithm changes the simulated numbers, so the
+        # direct-mode cache keys stay identical to earlier library versions
+        if self.algorithm != "direct":
+            fingerprint["algorithm"] = self.algorithm
+        return fingerprint
 
 
 class BaselineEngine(Engine):

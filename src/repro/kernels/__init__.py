@@ -1,9 +1,14 @@
-"""Pluggable compiled-kernel backends for the two hottest inner loops.
+"""Pluggable compiled-kernel backends for the hottest inner loops.
 
-``repro.kernels`` hosts named, bit-identical implementations of the
-functional simulator's ofmap block product and the mapping-candidate
-scorer: the ``numpy`` reference (the specification) and a ``numba`` JIT
-backend with graceful fallback when numba is not installed.  See
+``repro.kernels`` hosts named implementations of the functional
+simulator's ofmap block product, the mapping-candidate scorer, and their
+Winograd F(2x2,3x3) counterparts (``winograd_group_conv``,
+``score_mappings_winograd``): the ``numpy`` reference (the specification)
+and a ``numba`` JIT backend with graceful fallback when numba is not
+installed.  The direct kernels are bit-identical to NumPy's pairwise
+reduction order; the Winograd kernels are bit-identical *to each other*
+across backends and block partitions, and tolerance-checked against the
+im2col golden (the transforms reassociate the reduction).  See
 :mod:`repro.kernels.registry` for the selection precedence
 (explicit argument > ``--kernel-backend`` CLI override >
 ``REPRO_KERNEL_BACKEND`` environment variable > autodetection).

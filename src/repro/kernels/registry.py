@@ -80,6 +80,15 @@ class MappingCostParams:
     imemory_access_j: float
     omemory_access_j: float
     dram_byte_j: float
+    # ---- Winograd F(2x2,3x3) extension (see repro.analysis.winograd) --- #
+    # zero/identity defaults mean "layer not eligible"; the batch evaluator
+    # fills them via winograd_cost_fields() and only dispatches
+    # score_mappings_winograd when they are set
+    wino_tiles_h: int = 0
+    wino_tiles_w: int = 0
+    wino_weight_count: int = 0
+    wino_ext_width: int = 0
+    wino_pe_energy_factor: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -89,7 +98,13 @@ class KernelBackend:
     ``ofmap_block_product(plane_windows, kernels, out_block)`` accumulates
     one ifmap channel's contribution to a block of ofmap channels;
     ``score_mappings(params, primitives, stripe_height, chunk, image_major)``
-    scores mapping-candidate columns.  ``fallback_from`` names the backend
+    scores mapping-candidate columns.  The Winograd pair mirrors them for
+    the transform-domain execution mode:
+    ``winograd_group_conv(ext, u, out_block)`` computes one group's
+    F(2x2,3x3) ofmap block from tile-aligned inputs and transformed
+    filters, and ``score_mappings_winograd(params, primitives, chunk,
+    image_major)`` scores Winograd-algorithm candidates (the stripe-height
+    axis is pinned by the tile grid).  ``fallback_from`` names the backend
     that was *requested* when the registry had to degrade (requested numba,
     numba missing); ``None`` means the backend runs as asked.
     """
@@ -98,6 +113,8 @@ class KernelBackend:
     version: Optional[str]
     ofmap_block_product: Callable[..., None]
     score_mappings: Callable[..., Dict[str, np.ndarray]]
+    winograd_group_conv: Callable[..., None]
+    score_mappings_winograd: Callable[..., Dict[str, np.ndarray]]
     fallback_from: Optional[str] = None
 
 
@@ -179,6 +196,8 @@ def _numpy_backend() -> KernelBackend:
             version=np.__version__,
             ofmap_block_product=numpy_backend.ofmap_block_product,
             score_mappings=numpy_backend.score_mappings,
+            winograd_group_conv=numpy_backend.winograd_group_conv,
+            score_mappings_winograd=numpy_backend.score_mappings_winograd,
         )
     return _backends["numpy"]
 
@@ -191,6 +210,8 @@ def _numba_backend() -> KernelBackend:
             version=numba_backend.numba_version(),
             ofmap_block_product=numba_backend.ofmap_block_product,
             score_mappings=numba_backend.score_mappings,
+            winograd_group_conv=numba_backend.winograd_group_conv,
+            score_mappings_winograd=numba_backend.score_mappings_winograd,
         )
     return _backends["numba"]
 
@@ -277,6 +298,22 @@ def warmup(name: Optional[str] = None) -> str:
         params,
         np.array([1, 2], dtype=np.int64),
         np.array([1, 3], dtype=np.int64),
+        np.array([1, 2], dtype=np.int64),
+        np.array([True, False]),
+    )
+    # Winograd kernels: a 2x2 tile grid (6x6 extended plane) and the same
+    # scoring problem with the transform-domain fields filled in
+    ext = np.zeros((2, 6, 6), dtype=np.float64)
+    ext[:, :5, :5] = np.arange(2 * 5 * 5, dtype=np.float64).reshape(2, 5, 5)
+    u = np.linspace(-1.0, 1.0, 2 * 2 * 16).reshape(2, 2, 4, 4)
+    wino_out = np.zeros((2, 3, 3), dtype=np.float64)
+    backend.winograd_group_conv(ext, u, wino_out)
+    wino_params = replace(params, wino_tiles_h=2, wino_tiles_w=2,
+                          wino_weight_count=128, wino_ext_width=6,
+                          wino_pe_energy_factor=1.25)
+    backend.score_mappings_winograd(
+        wino_params,
+        np.array([1, 2], dtype=np.int64),
         np.array([1, 2], dtype=np.int64),
         np.array([True, False]),
     )

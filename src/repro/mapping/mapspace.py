@@ -14,7 +14,18 @@ leaves open for a convolutional layer:
 * ``interleave`` — ``"batch"`` (the paper's chunk-major-over-batch order:
   kernels load once per batch, partial ofmaps spill across chunk
   boundaries) or ``"image"`` (image-major: no partial-sum spills, kernels
-  reload per image whenever they do not fit).
+  reload per image whenever they do not fit);
+* ``algorithm`` — ``"direct"`` (the paper's sliding-window dataflow) or
+  ``"winograd"`` (the F(2x2,3x3) transform-domain mode of
+  :mod:`repro.analysis.winograd`, legal only for 3x3 stride-1 layers).
+  Winograd candidates pin ``stripe_height`` to the kernel size — the 4x4
+  tile grid fixes the stripe plan, so the height axis is degenerate — and
+  draw their chunk axis from the *reduced* kMemory capacity left by the
+  16/9-wider transformed filter planes.  The axis is **opt-in** per space
+  (``algorithm="direct"`` keeps the space exactly as before; ``"auto"``
+  enumerates both algorithms on eligible layers; ``"winograd"`` forces the
+  transform domain on eligible layers), so direct-only searches and their
+  caches are untouched.
 
 Legality checks reuse :class:`~repro.errors.MappingError` via
 :meth:`repro.core.mapper.LayerMapper.map_layer_with`.  Enumeration applies
@@ -45,6 +56,10 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.winograd import (
+    winograd_eligible,
+    winograd_kmemory_capacity,
+)
 from repro.cnn.layer import ConvLayer
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
@@ -53,6 +68,12 @@ from repro.errors import MappingError
 
 #: batch-interleave policies a candidate can select
 INTERLEAVES = ("batch", "image")
+
+#: execution algorithms a candidate can select
+ALGORITHMS = ("direct", "winograd")
+
+#: algorithm-axis modes a mapspace (and the optimizer/CLI) accepts
+ALGORITHM_MODES = ("direct", "winograd", "auto")
 
 
 @dataclass(frozen=True)
@@ -63,11 +84,16 @@ class MappingCandidate:
     stripe_height: int
     chunk: int
     interleave: str = "batch"
+    algorithm: str = "direct"
 
     def __post_init__(self) -> None:
         if self.interleave not in INTERLEAVES:
             raise MappingError(
                 f"interleave must be one of {INTERLEAVES}, got {self.interleave!r}"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise MappingError(
+                f"algorithm must be one of {ALGORITHMS}, got {self.algorithm!r}"
             )
 
     @property
@@ -75,10 +101,16 @@ class MappingCandidate:
         """True for the image-major (latency-oriented) schedule."""
         return self.interleave == "image"
 
+    @property
+    def is_winograd(self) -> bool:
+        """True when the candidate runs in the transform domain."""
+        return self.algorithm == "winograd"
+
     def describe(self) -> str:
         """Compact human-readable form (the ``repro map`` table cells)."""
+        suffix = " wino" if self.is_winograd else ""
         return (f"p={self.primitives} h={self.stripe_height} "
-                f"c={self.chunk} {self.interleave}")
+                f"c={self.chunk} {self.interleave}{suffix}")
 
     def to_json_dict(self) -> Dict[str, Any]:
         """Plain-dict form suitable for ``json.dump`` and cache payloads."""
@@ -87,6 +119,7 @@ class MappingCandidate:
             "stripe_height": self.stripe_height,
             "chunk": self.chunk,
             "interleave": self.interleave,
+            "algorithm": self.algorithm,
         }
 
     @classmethod
@@ -97,29 +130,33 @@ class MappingCandidate:
             stripe_height=int(data["stripe_height"]),
             chunk=int(data["chunk"]),
             interleave=str(data.get("interleave", "batch")),
+            algorithm=str(data.get("algorithm", "direct")),
         )
 
 
 def candidate_arrays(candidates: List[MappingCandidate]
-                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
     """Struct-of-arrays columns of a candidate list.
 
-    Returns ``(primitives, stripe_height, chunk, interleave_image)`` in the
-    argument order :meth:`repro.analysis.batch.MappingBatchEvaluator.evaluate`
-    expects.
+    Returns ``(primitives, stripe_height, chunk, interleave_image,
+    winograd)`` in the argument order
+    :meth:`repro.analysis.batch.MappingBatchEvaluator.evaluate` expects.
     """
     return (
         np.array([c.primitives for c in candidates], dtype=np.int64),
         np.array([c.stripe_height for c in candidates], dtype=np.int64),
         np.array([c.chunk for c in candidates], dtype=np.int64),
         np.array([c.image_major for c in candidates], dtype=bool),
+        np.array([c.is_winograd for c in candidates], dtype=bool),
     )
 
 
 class LayerMapSpace:
     """The legal mapping candidates of one layer on one chain configuration."""
 
-    def __init__(self, layer: ConvLayer, config: Optional[ChainConfig] = None) -> None:
+    def __init__(self, layer: ConvLayer, config: Optional[ChainConfig] = None,
+                 algorithm: str = "direct") -> None:
         self.layer = layer
         self.config = config or ChainConfig()
         self._mapper = LayerMapper(self.config)
@@ -129,33 +166,65 @@ class LayerMapSpace:
                 f"{layer.name}: kernel {layer.kernel_size}x{layer.kernel_size} needs "
                 f"{kernel_area} PEs but the chain has only {self.config.num_pes}"
             )
+        if algorithm not in ALGORITHM_MODES:
+            raise MappingError(
+                f"algorithm must be one of {ALGORITHM_MODES}, got {algorithm!r}"
+            )
         self.max_primitives = self.config.num_pes // kernel_area
         self.kmemory_capacity = self.config.kmemory_words_per_pe
+        #: chunk capacity (in passes) for Winograd candidates — transformed
+        #: 4x4 planes take 16/9 of the direct footprint per PE
+        self.winograd_capacity = winograd_kmemory_capacity(self.kmemory_capacity)
         self.channel_pairs = layer.channel_pairs()
+        #: the algorithm values this space enumerates; ineligible layers
+        #: degrade every mode to direct-only
+        if winograd_eligible(layer):
+            self.algorithms: Tuple[str, ...] = {
+                "direct": ("direct",),
+                "winograd": ("winograd",),
+                "auto": ("direct", "winograd"),
+            }[algorithm]
+        else:
+            self.algorithms = ("direct",)
         # plateau walks are pure functions of the (immutable) layer geometry;
         # memoising them turns the annealer's and beam search's candidate
         # generation from repeated Python loops into dict lookups
         self._pruned_primitives: Optional[List[int]] = None
-        self._pruned_chunks: Dict[int, List[int]] = {}
+        self._pruned_chunks: Dict[Tuple[int, bool], List[int]] = {}
+
+    @property
+    def winograd_axis(self) -> bool:
+        """True when this space enumerates Winograd candidates at all."""
+        return "winograd" in self.algorithms
 
     # ------------------------------------------------------------------ #
     # individual candidates
     # ------------------------------------------------------------------ #
     def baseline(self) -> MappingCandidate:
-        """The paper's Table II mapping as a candidate of this space."""
+        """The paper's Table II mapping as a candidate of this space.
+
+        In the winograd-forced mode (no direct axis) the baseline is the
+        Table II mapping normalised onto the Winograd sub-space, so search
+        strategies seeded from the baseline never leave the space.
+        """
         passes = -(-self.channel_pairs // self.max_primitives)
-        return MappingCandidate(
+        candidate = MappingCandidate(
             primitives=self.max_primitives,
             stripe_height=self.layer.kernel_size,
             chunk=min(self.kmemory_capacity, passes),
             interleave="batch",
         )
+        if "direct" not in self.algorithms:
+            candidate = self._as_winograd(candidate)
+        return candidate
 
     def validate(self, candidate: MappingCandidate) -> None:
         """Raise :class:`MappingError` unless ``candidate`` is legal here.
 
         Delegates to :meth:`LayerMapper.map_layer_with`, the single source of
-        legality for primitive counts, stripe heights and kernel chunks.
+        legality for primitive counts, stripe heights and kernel chunks;
+        Winograd candidates additionally require an eligible layer, the
+        pinned stripe height and the reduced transformed-plane chunk bound.
         """
         self._mapper.map_layer_with(
             self.layer,
@@ -163,6 +232,24 @@ class LayerMapSpace:
             stripe_height=candidate.stripe_height,
             kernel_chunk=candidate.chunk,
         )
+        if candidate.is_winograd:
+            if not winograd_eligible(self.layer):
+                raise MappingError(
+                    f"{self.layer.name}: winograd needs a 3x3 stride-1 layer "
+                    f"(K={self.layer.kernel_size}, S={self.layer.stride})"
+                )
+            if candidate.stripe_height != self.layer.kernel_size:
+                raise MappingError(
+                    f"{self.layer.name}: winograd candidates pin "
+                    f"stripe_height to K={self.layer.kernel_size}, got "
+                    f"{candidate.stripe_height}"
+                )
+            if candidate.chunk > self.winograd_capacity:
+                raise MappingError(
+                    f"{self.layer.name}: winograd chunk {candidate.chunk} "
+                    f"exceeds the transformed-plane capacity "
+                    f"{self.winograd_capacity}"
+                )
 
     def passes_for(self, primitives: int) -> int:
         """Round-robin passes needed at a given primitive count."""
@@ -206,23 +293,26 @@ class LayerMapSpace:
         self._pruned_primitives = sorted(values)
         return self._pruned_primitives
 
-    def pruned_chunks(self, passes: int) -> List[int]:
+    def pruned_chunks(self, passes: int, winograd: bool = False) -> List[int]:
         """Maximal chunk per distinct refill count (descending).
 
         Cost depends on ``chunk`` only through ``refills``, so one chunk per
         plateau of ``ceil(passes / chunk)`` covers every distinct cost.
+        Winograd candidates start the walk from the reduced
+        transformed-plane capacity.
         """
-        cached = self._pruned_chunks.get(passes)
+        cached = self._pruned_chunks.get((passes, winograd))
         if cached is not None:
             return cached
-        chunk = min(self.kmemory_capacity, passes)
+        capacity = self.winograd_capacity if winograd else self.kmemory_capacity
+        chunk = min(capacity, passes)
         values: List[int] = []
         while chunk >= 1:
             refills = -(-passes // chunk)
             values.append(chunk)
             # smallest chunk still achieving `refills`, then step below it
             chunk = -(-passes // refills) - 1
-        self._pruned_chunks[passes] = values
+        self._pruned_chunks[(passes, winograd)] = values
         return values
 
     def stripe_heights(self) -> List[int]:
@@ -234,8 +324,15 @@ class LayerMapSpace:
     # ------------------------------------------------------------------ #
     def full_size(self) -> int:
         """Size of the unpruned space (the analytic upper bound)."""
-        return (self.max_primitives * self.layer.kernel_size
-                * self.kmemory_capacity * len(INTERLEAVES))
+        total = 0
+        if "direct" in self.algorithms:
+            total += (self.max_primitives * self.layer.kernel_size
+                      * self.kmemory_capacity * len(INTERLEAVES))
+        if self.winograd_axis:
+            # stripe height is pinned: one height value, reduced chunk range
+            total += (self.max_primitives * self.winograd_capacity
+                      * len(INTERLEAVES))
+        return total
 
     def enumerate(self) -> List[MappingCandidate]:
         """Every cost-distinct legal candidate (the pruned space)."""
@@ -246,16 +343,29 @@ class LayerMapSpace:
         heights = self.stripe_heights()
         for primitives in self.pruned_primitives():
             passes = self.passes_for(primitives)
-            for chunk in self.pruned_chunks(passes):
-                refills = self.refills_for(passes, chunk)
-                interleaves = INTERLEAVES if refills > 1 else ("batch",)
-                for height in heights:
+            if "direct" in self.algorithms:
+                for chunk in self.pruned_chunks(passes):
+                    refills = self.refills_for(passes, chunk)
+                    interleaves = INTERLEAVES if refills > 1 else ("batch",)
+                    for height in heights:
+                        for interleave in interleaves:
+                            yield MappingCandidate(
+                                primitives=primitives,
+                                stripe_height=height,
+                                chunk=chunk,
+                                interleave=interleave,
+                            )
+            if self.winograd_axis:
+                for chunk in self.pruned_chunks(passes, winograd=True):
+                    refills = self.refills_for(passes, chunk)
+                    interleaves = INTERLEAVES if refills > 1 else ("batch",)
                     for interleave in interleaves:
                         yield MappingCandidate(
                             primitives=primitives,
-                            stripe_height=height,
+                            stripe_height=self.layer.kernel_size,
                             chunk=chunk,
                             interleave=interleave,
+                            algorithm="winograd",
                         )
 
     def pruned_size(self) -> int:
@@ -263,61 +373,110 @@ class LayerMapSpace:
         total = 0
         for primitives in self.pruned_primitives():
             passes = self.passes_for(primitives)
-            for chunk in self.pruned_chunks(passes):
-                refills = self.refills_for(passes, chunk)
-                total += self.layer.kernel_size * (2 if refills > 1 else 1)
+            if "direct" in self.algorithms:
+                for chunk in self.pruned_chunks(passes):
+                    refills = self.refills_for(passes, chunk)
+                    total += self.layer.kernel_size * (2 if refills > 1 else 1)
+            if self.winograd_axis:
+                for chunk in self.pruned_chunks(passes, winograd=True):
+                    refills = self.refills_for(passes, chunk)
+                    total += 2 if refills > 1 else 1
         return total
 
     # ------------------------------------------------------------------ #
     # stochastic access (random sampling / annealing moves)
     # ------------------------------------------------------------------ #
+    def _as_winograd(self, candidate: MappingCandidate) -> MappingCandidate:
+        """Normalise a candidate onto the Winograd sub-space (pin h, cap chunk)."""
+        passes = self.passes_for(candidate.primitives)
+        return replace(
+            candidate,
+            algorithm="winograd",
+            stripe_height=self.layer.kernel_size,
+            chunk=min(candidate.chunk, min(self.winograd_capacity, passes)),
+        )
+
     def sample(self, rng: np.random.Generator, count: int) -> List[MappingCandidate]:
-        """``count`` candidates drawn uniformly from the *full* space."""
+        """``count`` candidates drawn uniformly from the *full* space.
+
+        Direct-only spaces consume exactly the RNG stream they always did;
+        the algorithm draw only exists when the Winograd axis is enabled,
+        so seeded searches without the axis are unchanged.
+        """
         candidates = []
         for _ in range(count):
             primitives = int(rng.integers(1, self.max_primitives + 1))
             passes = self.passes_for(primitives)
-            candidates.append(MappingCandidate(
+            candidate = MappingCandidate(
                 primitives=primitives,
                 stripe_height=int(rng.integers(1, self.layer.kernel_size + 1)),
                 chunk=int(rng.integers(1, min(self.kmemory_capacity, passes) + 1)),
                 interleave=INTERLEAVES[int(rng.integers(len(INTERLEAVES)))],
-            ))
+            )
+            if self.winograd_axis:
+                pick = self.algorithms[int(rng.integers(len(self.algorithms)))]
+                if pick == "winograd":
+                    candidate = self._as_winograd(candidate)
+            candidates.append(candidate)
         return candidates
 
     def neighbor(self, candidate: MappingCandidate,
                  rng: np.random.Generator) -> MappingCandidate:
-        """A legal single-dimension mutation of ``candidate`` (annealing move)."""
-        dimension = int(rng.integers(4))
+        """A legal single-dimension mutation of ``candidate`` (annealing move).
+
+        With the Winograd axis enabled a fifth dimension flips the
+        algorithm (normalising stripe height and chunk on the way in);
+        the other dimensions respect the pinned height/reduced chunk of a
+        Winograd candidate.
+        """
+        wino = candidate.is_winograd
+        dimension = int(rng.integers(5 if self.winograd_axis else 4))
         if dimension == 0:
             values = self.pruned_primitives()
-            return replace(candidate, primitives=values[int(rng.integers(len(values)))])
+            mutated = replace(candidate,
+                              primitives=values[int(rng.integers(len(values)))])
+            return self._as_winograd(mutated) if wino else mutated
         if dimension == 1:
-            return replace(candidate,
-                           stripe_height=int(rng.integers(1, self.layer.kernel_size + 1)))
+            if wino:  # stripe height is pinned; mutate the chunk instead
+                dimension = 2
+            else:
+                return replace(
+                    candidate,
+                    stripe_height=int(rng.integers(1, self.layer.kernel_size + 1)))
         if dimension == 2:
             passes = self.passes_for(candidate.primitives)
-            chunks = self.pruned_chunks(passes)
+            chunks = self.pruned_chunks(passes, winograd=wino)
             return replace(candidate, chunk=chunks[int(rng.integers(len(chunks)))])
-        flipped = "image" if candidate.interleave == "batch" else "batch"
-        return replace(candidate, interleave=flipped)
+        if dimension == 3:
+            flipped = "image" if candidate.interleave == "batch" else "batch"
+            return replace(candidate, interleave=flipped)
+        # dimension 4: the algorithm axis
+        if wino:
+            if "direct" in self.algorithms:
+                return replace(candidate, algorithm="direct")
+            return candidate
+        return self._as_winograd(candidate)
 
     def describe(self) -> str:
         """One-line space summary (sizes before/after pruning)."""
+        axis = "+winograd" if self.winograd_axis else ""
         return (f"{self.layer.name}: {self.pruned_size()} pruned / "
                 f"{self.full_size()} full candidates "
-                f"(p<=%d, K=%d, chunk<=%d)" % (
+                f"(p<=%d, K=%d, chunk<=%d%s)" % (
                     self.max_primitives, self.layer.kernel_size,
-                    self.kmemory_capacity))
+                    self.kmemory_capacity, axis))
 
 
 class MapSpace:
     """Per-layer mapspaces of a whole network."""
 
-    def __init__(self, network: Network, config: Optional[ChainConfig] = None) -> None:
+    def __init__(self, network: Network, config: Optional[ChainConfig] = None,
+                 algorithm: str = "direct") -> None:
         self.network = network
         self.config = config or ChainConfig()
-        self.layer_spaces = [LayerMapSpace(layer, self.config)
+        self.algorithm = algorithm
+        self.layer_spaces = [LayerMapSpace(layer, self.config,
+                                           algorithm=algorithm)
                              for layer in network.conv_layers]
         if not self.layer_spaces:
             raise MappingError(f"{network.name}: no convolutional layers to map")

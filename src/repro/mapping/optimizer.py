@@ -48,8 +48,11 @@ from repro.engine.cache import (
     workload_fingerprint,
 )
 from repro.errors import ConfigurationError
+from repro.analysis.winograd import winograd_tile_grid
+from repro.cnn.reference import conv2d_im2col, pad_input
 from repro.kernels import backend_fingerprint, resolve_backend_name
 from repro.mapping.mapspace import (
+    ALGORITHM_MODES,
     LayerMapSpace,
     MappingCandidate,
     MapSpace,
@@ -58,6 +61,11 @@ from repro.mapping.mapspace import (
 from repro.mapping.strategies import SearchResult, Strategy, make_strategy
 from repro.runtime import LazyRuntime, WorkerError
 from repro.sim.functional import FunctionalChainSimulator
+from repro.sim.winograd import (
+    conv2d_winograd,
+    winograd_ofmap_block,
+    winograd_tolerance,
+)
 
 #: objective name -> per-layer proxy column of MAPPING_RESULT_COLUMNS
 OBJECTIVES: Dict[str, str] = {
@@ -119,7 +127,8 @@ def make_layer_scorer(layer, config: ChainConfig, objective: str, batch: int,
 def search_layer_entry(layer, config: ChainConfig, objective: str,
                        strategy: Strategy, batch: int, energy: EnergyParams,
                        shortlist: int,
-                       kernel_backend: Optional[str] = None) -> Dict[str, Any]:
+                       kernel_backend: Optional[str] = None,
+                       algorithm: str = "direct") -> Dict[str, Any]:
     """Search one layer's mapspace and score its shortlist pool.
 
     This is the per-layer body of :meth:`ScheduleOptimizer.optimize`,
@@ -128,9 +137,10 @@ def search_layer_entry(layer, config: ChainConfig, objective: str,
     the construction that makes parallel search results bit-identical to
     serial ones.  Stochastic strategies derive their RNG stream from
     ``(seed, strategy, layer)`` via ``stable_seed``, so the outcome is
-    independent of which process runs the search.
+    independent of which process runs the search.  ``algorithm`` is the
+    space's algorithm-axis mode (``direct`` | ``winograd`` | ``auto``).
     """
-    space = LayerMapSpace(layer, config)
+    space = LayerMapSpace(layer, config, algorithm=algorithm)
     evaluator, scorer = make_layer_scorer(layer, config, objective, batch,
                                           energy,
                                           kernel_backend=kernel_backend)
@@ -233,6 +243,10 @@ class OptimizedSchedule:
         """Layer-name -> searched stripe height (the functional-sim knob)."""
         return {s.layer_name: s.candidate.stripe_height for s in self.layers}
 
+    def algorithms(self) -> Dict[str, str]:
+        """Layer-name -> searched execution algorithm (direct | winograd)."""
+        return {s.layer_name: s.candidate.algorithm for s in self.layers}
+
     def layer_schedule(self, layer_name: str) -> LayerSchedule:
         """Look up one layer's searched schedule."""
         for entry in self.layers:
@@ -300,7 +314,16 @@ class OptimizedSchedule:
 
 @dataclass(frozen=True)
 class LayerVerification:
-    """Functional verification of one searched layer mapping."""
+    """Functional verification of one searched layer mapping.
+
+    For direct mappings ``bit_identical`` compares against the baseline-
+    stripe simulation; for Winograd mappings it compares the whole-ofmap
+    transform-domain result against an ofmap-channel block partition (the
+    parallel runtime's bit-identity ladder).  ``tolerance`` overrides the
+    network-wide golden tolerance when set — Winograd entries carry the
+    documented :func:`repro.sim.winograd.winograd_tolerance` bound because
+    the transforms reassociate the reduction.
+    """
 
     layer_name: str
     candidate: MappingCandidate
@@ -309,6 +332,7 @@ class LayerVerification:
     windows_kept: int
     seconds: float
     covers: Tuple[str, ...] = ()  # geometry-identical layers this result covers
+    tolerance: Optional[float] = None  # per-entry golden bound override
 
     def describe(self) -> str:
         """One verification line."""
@@ -336,8 +360,11 @@ class MappingVerification:
     @property
     def passed(self) -> bool:
         """True when every mapping is golden-close and baseline-bit-identical."""
-        return all(entry.bit_identical and entry.max_abs_error <= self.tolerance
-                   for entry in self.layers)
+        return all(
+            entry.bit_identical and entry.max_abs_error
+            <= (entry.tolerance if entry.tolerance is not None else self.tolerance)
+            for entry in self.layers
+        )
 
     def describe(self) -> str:
         """Multi-line verification report."""
@@ -365,6 +392,7 @@ class ScheduleOptimizer:
         shortlist: int = 4,
         workers: Optional[int] = None,
         kernel_backend: Optional[str] = None,
+        algorithm: str = "direct",
     ) -> None:
         if objective not in OBJECTIVES:
             raise ConfigurationError(
@@ -376,8 +404,17 @@ class ScheduleOptimizer:
             raise ConfigurationError(f"shortlist must be >= 1, got {shortlist}")
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if algorithm not in ALGORITHM_MODES:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; available: "
+                f"{', '.join(ALGORITHM_MODES)}"
+            )
         self.config = config or ChainConfig()
         self.objective = objective
+        #: algorithm-axis mode every layer space is built with ("direct"
+        #: reproduces the pre-axis search space and its cache keys bit for
+        #: bit; "auto" lets eligible layers pick Winograd when it wins)
+        self.algorithm = algorithm
         self.strategy = (strategy if isinstance(strategy, Strategy)
                          else make_strategy(strategy))
         self.batch = int(batch)
@@ -452,6 +489,7 @@ class ScheduleOptimizer:
                         "energy": self.energy,
                         "shortlist": self.shortlist,
                         "kernel_backend": self.kernel_backend,
+                        "algorithm": self.algorithm,
                     }
                     for layer in layers
                 ]
@@ -463,12 +501,14 @@ class ScheduleOptimizer:
             search_layer_entry(layer, self.config, self.objective,
                                self.strategy, self.batch, self.energy,
                                self.shortlist,
-                               kernel_backend=self.kernel_backend)
+                               kernel_backend=self.kernel_backend,
+                               algorithm=self.algorithm)
             for layer in layers
         ]
 
     def _optimize_uncached(self, network: Network) -> OptimizedSchedule:
-        MapSpace(network, self.config)  # raises early on unmappable networks
+        # raises early on unmappable networks / illegal algorithm modes
+        MapSpace(network, self.config, algorithm=self.algorithm)
         shortlists: List[List[MappingCandidate]] = []
         metric_cache: List[Dict[MappingCandidate, Dict[str, float]]] = []
         baseline_rows: List[LayerSchedule] = []
@@ -529,8 +569,14 @@ class ScheduleOptimizer:
     # memoisation
     # ------------------------------------------------------------------ #
     def fingerprint(self) -> Dict[str, Any]:
-        """Search-configuration identity (enters cache keys and records)."""
-        return {
+        """Search-configuration identity (enters cache keys and records).
+
+        The algorithm axis enters the fingerprint only when enabled, so
+        the default direct-only mode keeps its pre-axis cache keys — and a
+        cached direct search is never served to (or poisoned by) a run with
+        the Winograd axis on.
+        """
+        fingerprint: Dict[str, Any] = {
             "objective": self.objective,
             "strategy": self.strategy.fingerprint(),
             "batch": self.batch,
@@ -538,6 +584,9 @@ class ScheduleOptimizer:
             "energy": asdict(self.energy),
             "kernels": backend_fingerprint(self.kernel_backend),
         }
+        if self.algorithm != "direct":
+            fingerprint["algorithm"] = self.algorithm
+        return fingerprint
 
     def cache_key(self, network: Network) -> str:
         """Deterministic RunCache key of one whole-network search."""
@@ -569,6 +618,13 @@ class ScheduleOptimizer:
         baseline full-stripe simulation.  A searched stripe height equal to
         the baseline's runs the identical stripe plan, so the bit-identity
         re-simulation only happens for genuinely re-striped layers.
+
+        Winograd mappings run :func:`repro.sim.winograd.conv2d_winograd`
+        instead: the golden bound is the per-layer
+        :func:`~repro.sim.winograd.winograd_tolerance` (the transforms
+        reassociate the reduction) and the bit-identity check partitions the
+        ofmap channels into two blocks — the invariant the parallel runtime
+        relies on.
         """
         outcome = MappingVerification(network_name=network.name, seed=seed,
                                       tolerance=tolerance)
@@ -584,13 +640,41 @@ class ScheduleOptimizer:
                 (name, value) for name, value in asdict(layer).items()
                 if name != "name"
             ))
-            key = (geometry, height)
+            key = (geometry, height, entry.candidate.algorithm)
             if deduplicate and key in verified:
                 covers[verified[key]].append(layer.name)
                 continue
             generator = parent.spawn(layer.name)
             ifmaps, weights = generator.layer_pair(layer)
             started = time.perf_counter()
+            if entry.candidate.is_winograd:
+                reference = conv2d_im2col(layer, ifmaps, weights)
+                ofmaps = conv2d_winograd(layer, ifmaps, weights,
+                                         kernel_backend=self.kernel_backend)
+                error = float(np.max(np.abs(ofmaps - reference)))
+                padded = pad_input(np.asarray(ifmaps, dtype=np.float64),
+                                   layer.padding)
+                split = np.zeros_like(ofmaps)
+                half = max(1, layer.out_channels // 2)
+                winograd_ofmap_block(layer, padded, weights, 0, half, split,
+                                     kernel_backend=self.kernel_backend)
+                winograd_ofmap_block(layer, padded, weights, half,
+                                     layer.out_channels, split,
+                                     kernel_backend=self.kernel_backend)
+                identical = bool(np.array_equal(ofmaps, split))
+                tiles_h, tiles_w = winograd_tile_grid(layer)
+                verified[key] = len(outcome.layers)
+                covers[verified[key]] = []
+                outcome.layers.append(LayerVerification(
+                    layer_name=layer.name,
+                    candidate=entry.candidate,
+                    max_abs_error=error,
+                    bit_identical=identical,
+                    windows_kept=tiles_h * tiles_w * layer.out_channels,
+                    seconds=time.perf_counter() - started,
+                    tolerance=winograd_tolerance(reference),
+                ))
+                continue
             run = simulator.run_layer(layer, ifmaps, weights, stripe_height=height)
             error = run.max_abs_error_vs_reference(ifmaps, weights)
             if height == layer.kernel_size:
@@ -618,6 +702,7 @@ class ScheduleOptimizer:
                 windows_kept=entry.windows_kept,
                 seconds=entry.seconds,
                 covers=tuple(covers.get(index, ())),
+                tolerance=entry.tolerance,
             )
             for index, entry in enumerate(outcome.layers)
         ]

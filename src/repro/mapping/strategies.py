@@ -20,7 +20,7 @@ the determinism CI relies on.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +28,7 @@ import numpy as np
 from repro.cnn.generator import stable_seed
 from repro.errors import ConfigurationError
 from repro.mapping.mapspace import (
+    ALGORITHMS,
     INTERLEAVES,
     LayerMapSpace,
     MappingCandidate,
@@ -42,20 +43,21 @@ Scorer = Callable[[Sequence[MappingCandidate]], np.ndarray]
 
 def _pack_keys(space: LayerMapSpace, primitives: np.ndarray,
                heights: np.ndarray, chunks: np.ndarray,
-               image: np.ndarray) -> np.ndarray:
+               image: np.ndarray, winograd: np.ndarray) -> np.ndarray:
     """Bijective int64 key per candidate (the vectorized dedup currency).
 
     The radices come from the space's bounds (``primitives <=
     max_primitives``, ``stripe_height <= K``, ``chunk <= kmemory
     capacity``), so distinct candidates always pack to distinct keys and
     array-level ``np.unique`` / ``np.isin`` replace per-candidate set
-    membership tests.
+    membership tests.  The algorithm axis packs as one more bit.
     """
     radix_h = space.layer.kernel_size + 1
     radix_c = space.kmemory_capacity + 1
     keys = primitives.astype(np.int64) * radix_h + heights.astype(np.int64)
     keys = keys * radix_c + chunks.astype(np.int64)
-    return keys * 2 + image.astype(np.int64)
+    keys = keys * 2 + image.astype(np.int64)
+    return keys * 2 + winograd.astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -203,8 +205,9 @@ class GreedyStrategy(Strategy):
     """Beam-kept coordinate descent from the Table II baseline.
 
     Each sweep relaxes one mapping dimension at a time (primitives, stripe
-    height, chunk, interleave), scoring every pruned value of that dimension
-    for every beam state in one columnar call, and keeps the ``beam`` best
+    height, chunk, interleave — plus the algorithm when the space enables
+    the Winograd axis), scoring every pruned value of that dimension for
+    every beam state in one columnar call, and keeps the ``beam`` best
     states.  Converges in a handful of sweeps because the per-dimension cost
     structure is unimodal under the pruning bounds.
     """
@@ -221,18 +224,34 @@ class GreedyStrategy(Strategy):
                            dimension: str) -> Tuple[np.ndarray, ...]:
         """One state's relaxation of ``dimension`` as candidate columns.
 
-        Returns ``(primitives, stripe_height, chunk, image)`` arrays in the
-        order the old per-candidate ``dataclasses.replace`` loop produced —
-        candidate *objects* are only materialised later, for the deduped
-        fresh pool that actually reaches the scorer.
+        Returns ``(primitives, stripe_height, chunk, image, winograd)``
+        arrays in the order the old per-candidate ``dataclasses.replace``
+        loop produced — candidate *objects* are only materialised later, for
+        the deduped fresh pool that actually reaches the scorer.  A Winograd
+        state keeps its pinned stripe height and draws its chunk values from
+        the reduced transformed-plane capacity; the ``algorithm`` dimension
+        re-normalises the state onto each enabled algorithm.
         """
+        wino = state.is_winograd
+        if dimension == "algorithm":
+            variants = [
+                space._as_winograd(state) if algorithm == "winograd"
+                else replace(state, algorithm="direct")
+                for algorithm in space.algorithms
+            ]
+            return candidate_arrays(variants)
         if dimension == "primitives":
             values = np.asarray(space.pruned_primitives(), dtype=np.int64)
         elif dimension == "stripe_height":
-            values = np.arange(1, space.layer.kernel_size + 1, dtype=np.int64)
+            if wino:  # pinned by the tile grid — nothing to relax
+                values = np.array([space.layer.kernel_size], dtype=np.int64)
+            else:
+                values = np.arange(1, space.layer.kernel_size + 1,
+                                   dtype=np.int64)
         elif dimension == "chunk":
             passes = space.passes_for(state.primitives)
-            values = np.asarray(space.pruned_chunks(passes), dtype=np.int64)
+            values = np.asarray(space.pruned_chunks(passes, winograd=wino),
+                                dtype=np.int64)
         else:
             values = np.arange(len(INTERLEAVES), dtype=np.int64)
         count = len(values)
@@ -241,6 +260,7 @@ class GreedyStrategy(Strategy):
             np.full(count, state.stripe_height, dtype=np.int64),
             np.full(count, state.chunk, dtype=np.int64),
             np.full(count, int(state.image_major), dtype=np.int64),
+            np.full(count, int(wino), dtype=np.int64),
         ]
         index = {"primitives": 0, "stripe_height": 1, "chunk": 2,
                  "interleave": 3}[dimension]
@@ -253,9 +273,12 @@ class GreedyStrategy(Strategy):
         best_seen: Dict[MappingCandidate, float] = {}
         seen_keys = np.empty(0, dtype=np.int64)
         evaluations = 0
+        dimensions = ("primitives", "stripe_height", "chunk", "interleave")
+        if space.winograd_axis:
+            dimensions = dimensions + ("algorithm",)
         for _ in range(self.max_sweeps):
             improved = False
-            for dimension in ("primitives", "stripe_height", "chunk", "interleave"):
+            for dimension in dimensions:
                 # columnar pool: cross product of beam states x dimension
                 # values as arrays, deduped (within the pool and against
                 # everything already scored) through packed keys instead of
@@ -263,7 +286,7 @@ class GreedyStrategy(Strategy):
                 per_state = [self._dimension_columns(space, state, dimension)
                              for state in states]
                 columns = [np.concatenate([cols[i] for cols in per_state])
-                           for i in range(4)]
+                           for i in range(5)]
                 keys = _pack_keys(space, *columns)
                 _, first = np.unique(keys, return_index=True)
                 first = first[~np.isin(keys[first], seen_keys)]
@@ -276,6 +299,7 @@ class GreedyStrategy(Strategy):
                         stripe_height=int(columns[1][i]),
                         chunk=int(columns[2][i]),
                         interleave=INTERLEAVES[int(columns[3][i])],
+                        algorithm=ALGORITHMS[int(columns[4][i])],
                     )
                     for i in first
                 ]

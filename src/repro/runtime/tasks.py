@@ -136,6 +136,7 @@ def _map_search_layer(payload: Dict[str, Any], context: Dict[str, Any]) -> Any:
         energy=payload["energy"],
         shortlist=payload["shortlist"],
         kernel_backend=payload.get("kernel_backend"),
+        algorithm=payload.get("algorithm", "direct"),
     )
 
 
@@ -151,20 +152,31 @@ def _verify_sim_block(payload: Dict[str, Any], context: Dict[str, Any]) -> int:
     crosses the process boundary as a few dozen bytes.  Block values are
     bit-identical to the serial whole-layer computation because every ofmap
     channel is an independent broadcast-multiply/merged-axis reduction.
+    ``algorithm`` routes the block to the direct sliding-window kernel
+    (default) or the Winograd F(2x2,3x3) tile kernel — whose per-channel
+    independence gives the same partition bit-identity.
     """
     from repro.sim.functional_vectorized import vectorized_ofmap_block
+    from repro.sim.winograd import winograd_ofmap_block
 
     layer = payload["layer"]
     padded_handle = payload["padded"]
     weights_handle = payload["weights"]
     out_handle = payload["out"]
     m_start, m_stop = payload["m_start"], payload["m_stop"]
+    algorithm = payload.get("algorithm", "direct")
     try:
         padded = padded_handle.open()
         weights = weights_handle.open()
         out = out_handle.open()
-        vectorized_ofmap_block(layer, padded, weights, m_start, m_stop, out=out,
-                               kernel_backend=payload.get("kernel_backend"))
+        if algorithm == "winograd":
+            winograd_ofmap_block(layer, padded, weights, m_start, m_stop,
+                                 out=out,
+                                 kernel_backend=payload.get("kernel_backend"))
+        else:
+            vectorized_ofmap_block(layer, padded, weights, m_start, m_stop,
+                                   out=out,
+                                   kernel_backend=payload.get("kernel_backend"))
     finally:
         padded_handle.close()
         weights_handle.close()

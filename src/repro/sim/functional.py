@@ -38,8 +38,16 @@ from repro.errors import ConfigurationError, SimulationError, WorkloadError
 from repro.kernels import resolve_backend_name
 from repro.sim.functional_vectorized import pair_window_stats, vectorized_layer_ofmaps
 
+# NOTE: repro.analysis.winograd / repro.sim.winograd are imported lazily
+# inside the Winograd code paths — repro.sim is itself imported while
+# repro.engine.adapters is only partially initialised, and the
+# repro.analysis package __init__ closes a cycle back into it.
+
 #: selectable simulation backends (``"both"`` additionally cross-checks them)
 FUNCTIONAL_BACKENDS = ("scalar", "vectorized")
+
+#: execution algorithms the simulator can run a layer with
+SIM_ALGORITHMS = ("direct", "winograd")
 
 
 @dataclass
@@ -203,6 +211,67 @@ class FunctionalChainSimulator:
         )
 
     @staticmethod
+    def _winograd_stats(layer: ConvLayer) -> FunctionalRunStats:
+        """Layer counters of the transform-domain execution, closed form.
+
+        A "window" is one 4x4 input tile (each produces a 2x2 output tile),
+        a "stripe" one tile row; streamed pixels and primitive cycles follow
+        the :mod:`repro.analysis.winograd` cost model (3 cycles per tile on
+        a 9-PE primitive plus the ``K^2 - 1`` fill per stripe), so the
+        simulator's counters and the analytical scorer agree.
+        """
+        from repro.analysis.winograd import (
+            WINOGRAD_CYCLES_PER_TILE,
+            winograd_ext_width,
+            winograd_tile_grid,
+        )
+
+        tiles_h, tiles_w = winograd_tile_grid(layer)
+        pairs = layer.channel_pairs()
+        fill = layer.kernel_size * layer.kernel_size - 1
+        per_stripe = WINOGRAD_CYCLES_PER_TILE * tiles_w + fill
+        return FunctionalRunStats(
+            windows_evaluated=tiles_h * tiles_w * pairs,
+            windows_kept=tiles_h * tiles_w * pairs,
+            stripes_processed=tiles_h * pairs,
+            pairs_processed=pairs,
+            pixels_streamed=tiles_h * 4 * winograd_ext_width(layer) * pairs,
+            primitive_cycles=per_stripe * tiles_h * pairs,
+        )
+
+    def _run_winograd(self, layer: ConvLayer,
+                      padded: np.ndarray, weights: np.ndarray,
+                      mapping: LayerMapping) -> FunctionalRunResult:
+        """Whole-layer Winograd execution of already-validated tensors.
+
+        One transform-domain implementation serves every backend selection
+        (the hot per-group kernel still dispatches through
+        :mod:`repro.kernels`); the cross-checking ``both`` backend
+        additionally recomputes the layer on the numpy reference kernel and
+        requires bit-identity — the Winograd kernels are bit-identical to
+        each other even though they are only tolerance-close to the im2col
+        golden.
+        """
+        from repro.sim.winograd import winograd_ofmap_block
+
+        ofmaps = np.zeros(layer.out_shape, dtype=np.float64)
+        winograd_ofmap_block(layer, padded, weights, 0, layer.out_channels,
+                             ofmaps, kernel_backend=self.kernel_backend)
+        if self.backend == "both" and self.kernel_backend != "numpy":
+            reference = np.zeros(layer.out_shape, dtype=np.float64)
+            winograd_ofmap_block(layer, padded, weights, 0,
+                                 layer.out_channels, reference,
+                                 kernel_backend="numpy")
+            if not np.array_equal(ofmaps, reference):
+                raise SimulationError(
+                    f"{layer.name}: {self.kernel_backend} winograd kernel "
+                    f"diverges from the numpy reference (max abs difference "
+                    f"{float(np.max(np.abs(ofmaps - reference))):.3e})"
+                )
+        return self._finalize(layer, ofmaps, self._winograd_stats(layer),
+                              mapping)
+
+    @staticmethod
     def _finalize(layer: ConvLayer, ofmaps: np.ndarray,
                   stats: FunctionalRunStats,
                   mapping: LayerMapping) -> FunctionalRunResult:
@@ -229,7 +298,8 @@ class FunctionalChainSimulator:
     # ------------------------------------------------------------------ #
     def run_layer(self, layer: ConvLayer, ifmaps: np.ndarray,
                   weights: np.ndarray,
-                  stripe_height: Optional[int] = None) -> FunctionalRunResult:
+                  stripe_height: Optional[int] = None,
+                  algorithm: str = "direct") -> FunctionalRunResult:
         """Simulate one layer; returns the ofmaps and the dataflow statistics.
 
         ``stripe_height`` overrides the ofmap rows computed per stripe (the
@@ -238,12 +308,25 @@ class FunctionalChainSimulator:
         bit-identical across heights — the property the mapping-search
         verification relies on — while the dataflow counters (stripes,
         streamed pixels, primitive cycles) honestly reflect the choice.
+
+        ``algorithm="winograd"`` executes the F(2x2,3x3) transform-domain
+        mode instead (3x3 stride-1 layers only): results match the im2col
+        golden within :func:`repro.sim.winograd.winograd_tolerance` rather
+        than bit-identically, and the stripe-height knob does not apply (the
+        4x4 tile grid fixes the stripe plan).
         """
+        if algorithm not in SIM_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; "
+                f"available: {', '.join(SIM_ALGORITHMS)}"
+            )
         ifmaps, weights, stripe_height = self._validate_tensors(
             layer, ifmaps, weights, stripe_height)
         mapping = self.mapper.map_layer(layer)
         padded = pad_input(ifmaps, layer.padding)
 
+        if algorithm == "winograd":
+            return self._run_winograd(layer, padded, weights, mapping)
         if self.backend == "both":
             scalar = self._run_backend("scalar", layer, padded, weights, mapping,
                                        stripe_height)
@@ -266,8 +349,8 @@ class FunctionalChainSimulator:
 
     def run_layer_parallel(self, layer: ConvLayer, ifmaps: np.ndarray,
                            weights: np.ndarray, runtime,
-                           stripe_height: Optional[int] = None
-                           ) -> FunctionalRunResult:
+                           stripe_height: Optional[int] = None,
+                           algorithm: str = "direct") -> FunctionalRunResult:
         """Simulate one layer with ofmap blocks fanned over ``runtime``.
 
         Requires the vectorized backend: every ofmap channel is an
@@ -276,7 +359,10 @@ class FunctionalChainSimulator:
         shared memory, each worker writes its channel block into a shared
         assembly buffer, and the dataflow counters come from the same closed
         forms the vectorized backend uses — ofmaps *and* stats are
-        bit-identical to :meth:`run_layer`.
+        bit-identical to :meth:`run_layer`.  The Winograd algorithm keeps
+        the same decomposition (its transform-domain accumulation is also
+        per-ofmap-channel independent), so the partition invariant holds for
+        both algorithms.
         """
         from repro.runtime import SharedTensor
         from repro.sim.functional_vectorized import ofmap_block_ranges
@@ -285,6 +371,11 @@ class FunctionalChainSimulator:
             raise ConfigurationError(
                 f"run_layer_parallel requires the vectorized backend, "
                 f"not {self.backend!r}"
+            )
+        if algorithm not in SIM_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; "
+                f"available: {', '.join(SIM_ALGORITHMS)}"
             )
         ifmaps, weights, stripe_height = self._validate_tensors(
             layer, ifmaps, weights, stripe_height)
@@ -300,7 +391,8 @@ class FunctionalChainSimulator:
                 # private pickled copies and the parent would read back
                 # zeros — run the (bit-identical) serial path instead
                 return self.run_layer(layer, ifmaps, weights,
-                                      stripe_height=stripe_height)
+                                      stripe_height=stripe_height,
+                                      algorithm=algorithm)
             shared_padded = SharedTensor.create(padded)
             handles.append(shared_padded)
             shared_weights = SharedTensor.create(weights)
@@ -314,6 +406,7 @@ class FunctionalChainSimulator:
                     "m_start": m_start,
                     "m_stop": m_stop,
                     "kernel_backend": self.kernel_backend,
+                    "algorithm": algorithm,
                 }
                 for m_start, m_stop in ofmap_block_ranges(layer, runtime.workers)
             ])
@@ -322,7 +415,10 @@ class FunctionalChainSimulator:
             for handle in handles:
                 handle.unlink()
 
-        stats = self._closed_form_stats(layer, stripe_height)
+        if algorithm == "winograd":
+            stats = self._winograd_stats(layer)
+        else:
+            stats = self._closed_form_stats(layer, stripe_height)
         return self._finalize(layer, ofmaps, stats, mapping)
 
     def _run_backend(self, backend: str, layer: ConvLayer, padded: np.ndarray,
@@ -355,9 +451,16 @@ class FunctionalChainSimulator:
         return self._finalize(layer, ofmaps, stats, mapping)
 
     def run_and_check(self, layer: ConvLayer, ifmaps: np.ndarray, weights: np.ndarray,
-                      tolerance: float = 1e-9) -> Dict[str, float]:
-        """Run the simulation and compare against the reference convolution."""
-        result = self.run_layer(layer, ifmaps, weights)
+                      tolerance: float = 1e-9,
+                      algorithm: str = "direct") -> Dict[str, float]:
+        """Run the simulation and compare against the reference convolution.
+
+        Winograd runs should pass the documented
+        :func:`repro.sim.winograd.winograd_tolerance` bound as ``tolerance``
+        (the transforms reassociate the reduction, so the direct float
+        round-off default is not the right contract).
+        """
+        result = self.run_layer(layer, ifmaps, weights, algorithm=algorithm)
         error = result.max_abs_error_vs_reference(ifmaps, weights)
         if error > tolerance:
             raise SimulationError(

@@ -30,7 +30,7 @@ from repro.cnn.generator import WorkloadGenerator
 from repro.cnn.layer import ConvLayer, FullyConnectedLayer, PoolingLayer
 from repro.cnn.network import Network
 from repro.cnn.quantize import choose_format
-from repro.cnn.reference import strided_windows
+from repro.cnn.reference import conv2d_im2col, strided_windows
 from repro.core.config import ChainConfig
 from repro.errors import WorkloadError
 from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
@@ -39,6 +39,15 @@ from repro.sim.functional import (
     FunctionalRunResult,
     FunctionalRunStats,
 )
+
+# NOTE: repro.analysis.winograd / repro.sim.winograd are imported lazily
+# inside the Winograd code paths — repro.sim is itself imported while
+# repro.engine.adapters is only partially initialised, and the
+# repro.analysis package __init__ closes a cycle back into it.
+
+#: network-level algorithm modes (``auto`` and ``winograd`` both run the
+#: transform domain on every eligible layer; ineligible layers stay direct)
+NETWORK_ALGORITHMS = ("direct", "winograd", "auto")
 
 
 def pool2d(activations: np.ndarray, layer: PoolingLayer) -> np.ndarray:
@@ -68,16 +77,23 @@ class StageReport:
     max_abs_error: float = 0.0
     windows_kept: int = 0
     chain_cycles: float = 0.0
+    #: execution algorithm of a conv stage
+    algorithm: str = "direct"
+    #: per-stage golden bound override (Winograd stages carry the documented
+    #: :func:`repro.sim.winograd.winograd_tolerance`; ``None`` falls back to
+    #: the network-wide tolerance)
+    tolerance: Optional[float] = None
 
     def describe(self) -> str:
         """One verification line, mirroring the cycle CLI output."""
         shape = "x".join(str(dim) for dim in self.out_shape)
         if self.kind != "conv":
             return f"{self.name:<10} {self.kind:<5} -> {shape}"
+        suffix = " wino" if self.algorithm == "winograd" else ""
         return (f"{self.name:<10} conv  -> {shape:<12} "
                 f"max|err|={self.max_abs_error:.2e} "
                 f"windows={self.windows_kept:<10} "
-                f"cycles={self.chain_cycles:<12.0f}")
+                f"cycles={self.chain_cycles:<12.0f}{suffix}")
 
 
 @dataclass
@@ -106,8 +122,16 @@ class NetworkRunResult:
 
     @property
     def passed(self) -> bool:
-        """True when every conv stage stayed within the tolerance."""
-        return self.max_abs_error <= self.tolerance
+        """True when every conv stage stayed within its tolerance.
+
+        Each stage checks against its own bound when set (Winograd stages),
+        the network-wide tolerance otherwise.
+        """
+        return all(
+            stage.max_abs_error
+            <= (stage.tolerance if stage.tolerance is not None else self.tolerance)
+            for stage in self.conv_stages
+        )
 
     def describe(self) -> str:
         """Multi-line human-readable verification report."""
@@ -131,9 +155,15 @@ class FunctionalNetworkRunner:
                  total_bits: int = 16, tolerance: float = 1e-6,
                  quantize_between_stages: bool = True,
                  workers: Optional[int] = None,
-                 kernel_backend: Optional[str] = None) -> None:
+                 kernel_backend: Optional[str] = None,
+                 algorithm: str = "direct") -> None:
         if workers is not None and workers < 1:
             raise WorkloadError(f"workers must be >= 1, got {workers}")
+        if algorithm not in NETWORK_ALGORITHMS:
+            raise WorkloadError(
+                f"unknown algorithm {algorithm!r}; available: "
+                f"{', '.join(NETWORK_ALGORITHMS)}"
+            )
         self.simulator = FunctionalChainSimulator(config, backend=backend,
                                                   kernel_backend=kernel_backend)
         self.backend = backend
@@ -142,6 +172,11 @@ class FunctionalNetworkRunner:
         self.total_bits = total_bits
         self.tolerance = tolerance
         self.quantize_between_stages = quantize_between_stages
+        #: execution-algorithm mode: ``winograd``/``auto`` run the
+        #: F(2x2,3x3) transform domain on every eligible (3x3 stride-1)
+        #: conv layer, with the documented per-stage tolerance; ineligible
+        #: layers always run direct
+        self.algorithm = algorithm
         #: fan each conv layer's ofmap blocks over this many persistent
         #: workers (vectorized backend only; ``None``/1 = serial); the
         #: chained forward pass stays serial — layer N+1 needs layer N's
@@ -182,9 +217,18 @@ class FunctionalNetworkRunner:
             return activations
         return choose_format(activations, self.total_bits).quantize(activations)
 
+    def _algorithm_for(self, layer: ConvLayer) -> str:
+        """The execution algorithm this run uses for ``layer``."""
+        from repro.analysis.winograd import winograd_eligible
+
+        if self.algorithm != "direct" and winograd_eligible(layer):
+            return "winograd"
+        return "direct"
+
     def _run_conv(self, layer: ConvLayer, activations: np.ndarray,
                   weights: np.ndarray,
-                  stripe_height: Optional[int]) -> FunctionalRunResult:
+                  stripe_height: Optional[int],
+                  algorithm: str = "direct") -> FunctionalRunResult:
         """One conv layer's simulation, parallel over ofmap blocks when on.
 
         The parallel path ships the padded ifmaps and weights to the workers
@@ -192,21 +236,24 @@ class FunctionalNetworkRunner:
         channel block into a shared assembly buffer, and derives the
         dataflow counters from the same closed forms the vectorized backend
         uses — so ofmaps *and* stats are bit-identical to the serial path
-        (`tests/test_runtime.py` holds this in the equivalence gate).
+        (`tests/test_runtime.py` holds this in the equivalence gate; the
+        Winograd block kernel preserves the same partition invariant).
         """
         runtime = self._ensure_runtime()
         if runtime is not None:
             try:
                 return self.simulator.run_layer_parallel(
                     layer, activations, weights, runtime,
-                    stripe_height=stripe_height)
+                    stripe_height=stripe_height, algorithm=algorithm)
             except WorkerError:
                 pass  # degradation ladder's last rung: the serial layer walk
         return self.simulator.run_layer(layer, activations, weights,
-                                        stripe_height=stripe_height)
+                                        stripe_height=stripe_height,
+                                        algorithm=algorithm)
 
     def run(self, network: Network,
-            stripe_heights: Optional[Dict[str, int]] = None) -> NetworkRunResult:
+            stripe_heights: Optional[Dict[str, int]] = None,
+            algorithms: Optional[Dict[str, str]] = None) -> NetworkRunResult:
         """Propagate quantised activations through ``network`` and verify.
 
         Every conv layer's simulated ofmaps are compared against the im2col
@@ -219,7 +266,11 @@ class FunctionalNetworkRunner:
         heights (:meth:`repro.mapping.OptimizedSchedule.stripe_heights`), so
         whole-network verification exercises the exact stripe plans an
         optimised schedule would execute; unlisted layers use the paper's
-        full ``K``-row stripes.
+        full ``K``-row stripes.  ``algorithms`` likewise maps layer names to
+        execution algorithms (:meth:`~repro.mapping.OptimizedSchedule.
+        algorithms`); unlisted layers follow the runner's algorithm mode.
+        Winograd stages record the documented per-stage tolerance instead of
+        the network-wide one.
         """
         result = NetworkRunResult(
             network=network.name,
@@ -257,11 +308,22 @@ class FunctionalNetworkRunner:
                     f"but the previous stage produced {activations.shape}"
                 )
             weights = self._quantize(generator.weights(layer))
+            algorithm = ((algorithms or {}).get(layer.name)
+                         or self._algorithm_for(layer))
             run = self._run_conv(
                 layer, activations, weights,
                 stripe_height=(stripe_heights or {}).get(layer.name),
+                algorithm=algorithm,
             )
-            error = run.max_abs_error_vs_reference(activations, weights)
+            if algorithm == "winograd":
+                from repro.sim.winograd import winograd_tolerance
+
+                reference = conv2d_im2col(layer, activations, weights)
+                error = float(np.max(np.abs(reference - run.ofmaps)))
+                stage_tolerance: Optional[float] = winograd_tolerance(reference)
+            else:
+                error = run.max_abs_error_vs_reference(activations, weights)
+                stage_tolerance = None
             result.stages.append(StageReport(
                 name=layer.name,
                 kind="conv",
@@ -270,6 +332,8 @@ class FunctionalNetworkRunner:
                 max_abs_error=error,
                 windows_kept=run.stats.windows_kept,
                 chain_cycles=run.chain_cycles_estimate,
+                algorithm=algorithm,
+                tolerance=stage_tolerance,
             ))
             _accumulate(result.stats, run.stats)
             result.chain_cycles_estimate += run.chain_cycles_estimate

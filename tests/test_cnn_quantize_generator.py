@@ -15,6 +15,7 @@ from repro.cnn.quantize import (
 )
 from repro.cnn.tensor import FeatureMap
 from repro.errors import QuantizationError, WorkloadError
+from repro.hwmodel.fixed_point import FixedPointFormat
 
 
 @pytest.fixture
@@ -67,6 +68,80 @@ class TestLayerQuantization:
         ifmaps, weights = generator.layer_pair(layer)
         result = evaluate_layer_quantization(layer, ifmaps, weights)
         assert result.layer_name == "q"
+
+
+class TestRequantizationEdgeCases:
+    """Requantization corners the between-stage path must get right.
+
+    The functional network runner requantizes activations between stages
+    (including the Winograd post-transform outputs), so saturation at the
+    int16 bounds, rounding-tie behaviour and the zero-tensor guard are
+    contract, not incidental detail.
+    """
+
+    def test_saturation_clamps_to_int16_raw_bounds(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=0)
+        assert (fmt.raw_min, fmt.raw_max) == (-(1 << 15), (1 << 15) - 1)
+        raw = fmt.quantize_raw(np.array([-1e9, fmt.min_value - 1.0,
+                                         fmt.max_value + 1.0, 1e9]))
+        assert raw.tolist() == [fmt.raw_min, fmt.raw_min,
+                                fmt.raw_max, fmt.raw_max]
+        # the scalar path saturates identically
+        assert fmt.to_raw(1e9) == fmt.raw_max
+        assert fmt.to_raw(-1e9) == fmt.raw_min
+        assert fmt.saturate(fmt.raw_max + 5) == fmt.raw_max
+        assert fmt.saturate(fmt.raw_min - 5) == fmt.raw_min
+
+    def test_saturated_bounds_are_asymmetric_twos_complement(self):
+        fmt = FixedPointFormat(total_bits=16, frac_bits=8)
+        quantized = fmt.quantize(np.array([fmt.min_value, fmt.max_value]))
+        assert quantized[0] == fmt.min_value
+        assert quantized[1] == fmt.max_value
+        # |min| exceeds max by exactly one LSB: quantizing -max_value must
+        # not fold onto the (representable) raw_min
+        assert fmt.quantize_raw(np.array([-fmt.max_value]))[0] == -fmt.raw_max
+
+    def test_rounding_ties_go_to_even_raw_values(self):
+        # np.round implements round-half-to-even; exact .5-LSB ties must
+        # land on even raw codes in both the array and scalar paths
+        fmt = FixedPointFormat(total_bits=16, frac_bits=0)
+        ties = np.array([0.5, 1.5, 2.5, -0.5, -1.5, -2.5])
+        assert fmt.quantize_raw(ties).tolist() == [0, 2, 2, 0, -2, -2]
+        assert [fmt.to_raw(v) for v in ties] == [0, 2, 2, 0, -2, -2]
+        # the tie rule is scale-invariant (here ties sit at odd multiples
+        # of scale/2 = 2^-9)
+        frac = FixedPointFormat(total_bits=16, frac_bits=8)
+        half_lsb = frac.scale / 2.0
+        assert frac.quantize_raw(np.array([half_lsb, 3 * half_lsb])).tolist() \
+            == [0, 2]
+
+    def test_zero_tensor_gets_the_finest_format_and_round_trips(self):
+        # max|x| == 0 must not divide by zero or log(0): the guard gives
+        # zero integer bits, i.e. all-fraction resolution
+        fmt = choose_format(np.zeros((3, 4)), total_bits=16)
+        assert fmt.frac_bits == 15
+        assert np.array_equal(fmt.quantize(np.zeros((3, 4))), np.zeros((3, 4)))
+
+    def test_requantization_is_idempotent(self):
+        # the between-stage path may requantize already-quantized
+        # activations (e.g. a direct stage feeding a Winograd stage);
+        # quantizing a second time must be a no-op
+        rng = np.random.default_rng(5)
+        values = rng.normal(scale=3.0, size=(4, 9))
+        fmt = choose_format(values, total_bits=16)
+        once = fmt.quantize(values)
+        assert np.array_equal(fmt.quantize(once), once)
+        # and re-choosing a format on the quantized grid keeps it exact
+        refmt = choose_format(once, total_bits=16)
+        assert np.array_equal(refmt.quantize(once), once)
+
+    def test_format_validation_guards(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=16, frac_bits=16)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(total_bits=16, frac_bits=-1)
 
 
 class TestWorkloadGenerator:
