@@ -1,0 +1,203 @@
+"""Benchmark: overhead and fidelity of the observability layer (repro.obs).
+
+The acceptance bars for the observability PR:
+
+* **disabled tracing costs <=1%** — the span/counter calls stay in the hot
+  paths permanently, so the budget is estimated as *measured per-op
+  disabled cost x ops the workload actually performs*, over the workload's
+  wall time (the instrumentation cannot be compiled out, and subtracting
+  two noisy end-to-end timings of a ~0.1% effect measures only noise);
+* **enabled tracing costs <=5%** — full recording on, same workload,
+  best-of-N min-time comparison (floor asserted in timing mode, recorded
+  honestly in the smoke pass);
+* **tracing observes, never perturbs** — sweep metrics and the searched
+  schedule are bit-identical with tracing on vs off, serial *and* through
+  a real 2-worker supervised pool (always asserted), and the merged
+  parallel trace passes structural validation.
+
+Records ``BENCH_obs.json`` (per-op costs, op counts, overhead percentages,
+trace sizes) at the repo root; the "Observability" section of
+EXPERIMENTS.md is regenerated from that file.
+
+Pools are constructed directly (not through ``LazyRuntime``) so the
+parallel identity check exercises real worker processes even on
+single-core runners where the lazy path would degrade to serial.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from _record import record_benchmark
+from repro.cnn.zoo import get_network
+from repro.core.config import ChainConfig
+from repro.engine import workload_fingerprint
+from repro.engine.cache import canonical_json
+from repro.engine.executor import SweepExecutor
+from repro.mapping import ScheduleOptimizer
+from repro.obs import trace as obs_trace
+from repro.obs.export import export_trace, validate_chrome_trace
+from repro.obs.metrics import REGISTRY
+from repro.runtime import FaultPlan, RetryPolicy, SupervisedRuntime
+
+#: worker processes for the parallel identity leg
+WORKERS = 2
+
+#: timing repetitions per configuration (best-of suppresses runner noise)
+ROUNDS = 3
+
+#: repetitions for the per-op disabled-cost microbenchmarks
+NOOP_OPS = 200_000
+
+#: the sweep half of the workload (same grid as the faults benchmark)
+SWEEP_PES = range(128, 1153, 16)
+
+
+def _workload(network):
+    """One sweep + one mapping search; returns the comparable outputs."""
+    configs = [ChainConfig(num_pes=pes) for pes in SWEEP_PES]
+    with SweepExecutor(engine="analytical", network=network,
+                       batch=16) as executor:
+        records = executor.run(configs, parallel=False)
+    schedule = ScheduleOptimizer(objective="throughput", strategy="greedy",
+                                 batch=16).optimize(network)
+    return [r.metrics for r in records], schedule.to_json_dict()
+
+
+def _best_of(fn):
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _disabled_op_costs():
+    """Measured per-call cost of the two disabled-path operations."""
+    assert not obs_trace.enabled()
+    started = time.perf_counter()
+    for _ in range(NOOP_OPS):
+        with obs_trace.span("bench.noop"):
+            pass
+    span_s = (time.perf_counter() - started) / NOOP_OPS
+    count = REGISTRY.counter("bench.noop")
+    started = time.perf_counter()
+    for _ in range(NOOP_OPS):
+        count.inc()
+    counter_s = (time.perf_counter() - started) / NOOP_OPS
+    count.value = 0
+    return span_s, counter_s
+
+
+def _counter_total():
+    return sum(REGISTRY.snapshot()["counters"].values())
+
+
+def test_observability_overhead_and_identity(benchmark):
+    network = get_network("alexnet")
+
+    # -- untraced baseline (metrics on — that is the permanent default) ----
+    obs_trace.disable()
+    base_seconds, (base_metrics, base_schedule) = _best_of(
+        lambda: _workload(network))
+    span_op_s, counter_op_s = _disabled_op_costs()
+
+    # -- traced run: wall-clock overhead + op counts + bit-identity --------
+    recorder = obs_trace.enable(env=False)
+    counters_before = _counter_total()
+    try:
+        traced_seconds, (traced_metrics, traced_schedule) = _best_of(
+            lambda: _workload(network))
+        span_events = len(recorder.events)
+        metric_increments = (_counter_total() - counters_before) // ROUNDS
+    finally:
+        obs_trace.disable()
+    assert traced_metrics == base_metrics
+    assert traced_schedule == base_schedule
+    enabled_overhead_pct = (traced_seconds / base_seconds - 1.0) * 100.0
+    # span() no-ops and counter adds the workload would execute untraced,
+    # priced at their measured per-op costs (three rounds buffered spans)
+    disabled_cost_s = (span_events / ROUNDS) * span_op_s \
+        + metric_increments * counter_op_s
+    disabled_overhead_pct = disabled_cost_s / base_seconds * 100.0
+
+    # -- parallel identity through a real supervised pool ------------------
+    fingerprint = canonical_json(workload_fingerprint(network))
+    payloads = [
+        {"engine": "analytical", "engine_kwargs": {},
+         "network_fingerprint": fingerprint, "config": config, "batch": 16}
+        for config in (ChainConfig(num_pes=pes) for pes in SWEEP_PES)
+    ]
+
+    def _pool_map():
+        pool = SupervisedRuntime.create(WORKERS, fault_plan=FaultPlan.none())
+        if pool is None:
+            return None
+        pool.policy = RetryPolicy(backoff=0.01)
+        try:
+            pool.broadcast("sweep.set_network",
+                           {"fingerprint": fingerprint, "network": network})
+            return pool.map("sweep.point", payloads)
+        finally:
+            pool.close()
+
+    untraced_parallel = _pool_map()
+    pools_available = untraced_parallel is not None
+    merged_trace = None
+    if pools_available:
+        assert [r.metrics for r in untraced_parallel] == base_metrics
+        obs_trace.enable()  # env export: the pool workers must self-enable
+        try:
+            traced_parallel = _pool_map()
+            assert [r.metrics for r in traced_parallel] == base_metrics
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "trace.json")
+                export_trace(path)
+                merged_trace = validate_chrome_trace(path)
+            assert merged_trace["processes"] >= WORKERS
+        finally:
+            obs_trace.disable()
+
+    record_benchmark("obs", {
+        "workers": WORKERS if pools_available else 0,
+        "pools_available": pools_available,
+        "sweep_points": len(payloads),
+        "base_seconds": base_seconds,
+        "traced_seconds": traced_seconds,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "disabled_span_ns": span_op_s * 1e9,
+        "disabled_counter_inc_ns": counter_op_s * 1e9,
+        "span_events_per_run": span_events // ROUNDS,
+        "metric_increments_per_run": metric_increments,
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "merged_trace_spans": (merged_trace or {}).get("spans", 0),
+        "merged_trace_processes": (merged_trace or {}).get("processes", 0),
+        "bit_identical_serial": True,
+        "bit_identical_parallel": pools_available,
+    })
+
+    def traced_workload():
+        obs_trace.enable(env=False)
+        try:
+            return _workload(network)
+        finally:
+            obs_trace.disable()
+
+    metrics, schedule = benchmark.pedantic(traced_workload, rounds=1,
+                                           iterations=1)
+    assert metrics == base_metrics and schedule == base_schedule
+
+    # the budgets only bind in timing mode: the smoke pass runs single
+    # repetitions on shared runners where scheduler noise exceeds them
+    if not benchmark.disabled:
+        assert disabled_overhead_pct <= 1.0, (
+            f"disabled instrumentation costs {disabled_overhead_pct:.3f}% "
+            f"of the workload (budget 1%)")
+        assert enabled_overhead_pct <= 5.0, (
+            f"enabled tracing overhead {enabled_overhead_pct:.1f}% exceeds "
+            f"the 5% budget ({traced_seconds:.3f}s traced vs "
+            f"{base_seconds:.3f}s base)")

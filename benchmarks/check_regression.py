@@ -55,6 +55,11 @@ WATCHED_FIELDS: Dict[str, List[str]] = {
     # modeled multiply reduction of the worst eligible VGG-16 layer and the
     # modeled cycle speedup the algorithm axis buys on VGG-16 throughput
     "winograd": ["vgg16_min_mac_reduction", "vgg16_throughput_cycle_speedup"],
+    # overhead percentages and per-op nanosecond costs are wall-clock
+    # measurements on a shared runner — machine noise between machines; the
+    # benchmark asserts its own bit-identity and (in timing mode) the
+    # 1%/5% overhead budgets, so the record is tracked but not ratio-gated
+    "obs": [],
 }
 
 

@@ -47,6 +47,13 @@ from repro.energy.power import chain_power_w, memory_power_w
 from repro.errors import ConfigurationError
 from repro.hwmodel.clock import ClockDomain
 from repro.kernels import MappingCostParams, get_backend, resolve_backend_name
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+# columnar-path throughput counters (process-local: workers running grid
+# chunks feed their own registry and ship deltas with their results)
+_M_BATCH_POINTS = obs_metrics.counter("batch.points_evaluated")
+_M_CANDIDATES_SCORED = obs_metrics.counter("mapping.candidates_scored")
 
 #: grid-axis names accepted by :meth:`DesignGrid.parse`
 GRID_AXES = ("pe", "freq", "batch", "bits")
@@ -514,6 +521,12 @@ class BatchDesignEvaluator:
     # ------------------------------------------------------------------ #
     def evaluate_grid(self, grid: DesignGrid) -> BatchSweepResult:
         """Evaluate every grid point; all metrics as whole-array expressions."""
+        _M_BATCH_POINTS.inc(grid.n_points)
+        with obs_trace.span("batch.evaluate_grid", network=self.network.name,
+                            points=grid.n_points):
+            return self._evaluate_grid(grid)
+
+    def _evaluate_grid(self, grid: DesignGrid) -> BatchSweepResult:
         num_pes = grid.num_pes
         if grid.n_points == 0:
             empty = np.zeros(0, dtype=np.float64)
@@ -723,6 +736,7 @@ class MappingBatchEvaluator:
         """
         backend = get_backend(self.kernel_backend)
         primitives = np.asarray(primitives, dtype=np.int64)
+        _M_CANDIDATES_SCORED.inc(primitives.shape[0] if primitives.ndim else 1)
         stripe_height = np.asarray(stripe_height, dtype=np.int64)
         chunk = np.asarray(chunk, dtype=np.int64)
         interleave_image = np.asarray(interleave_image, dtype=bool)

@@ -30,8 +30,21 @@ writing any Python:
 * ``networks``    — list the network zoo with per-network layer counts,
   MACs, parameter totals and Winograd-eligible MAC coverage;
 * ``bench``       — run a registered benchmark (``sweep``, ``cycle``,
-  ``functional``, ``mapping``, ``parallel``, ``kernels``, ``faults``,
-  ``winograd`` or ``all``) and write its ``BENCH_*.json`` trajectory record.
+  ``functional``, ``mapping``, ``obs``, ``parallel``, ``kernels``,
+  ``faults``, ``winograd`` or ``all``) and write its ``BENCH_*.json``
+  trajectory record;
+* ``trace``       — ``summarize FILE`` renders per-span statistics for a
+  wall-clock trace exported with ``--trace``.
+
+Observability (:mod:`repro.obs`) is global: ``--trace FILE`` records a
+wall-clock span trace of the whole command — engines, cache, mapping
+search and pool workers merged onto one timeline — as Chrome trace-event
+JSON (load in Perfetto / chrome://tracing; a ``.jsonl`` suffix selects the
+line-oriented format instead), and ``--metrics`` dumps the metrics
+registry (cache hits/misses, candidates enumerated/pruned/scored, retries,
+backend dispatches, ...) to stderr after the command.  ``sweep`` and
+``map`` always print a one-line stats footer (wall time, throughput,
+cache hit-rate, workers) even without either flag.
 
 ``run``/``map``/``verify`` take ``--algorithm {direct,winograd,auto}`` to
 select the conv execution algorithm: ``winograd`` runs (or pins the search
@@ -61,6 +74,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -86,6 +100,9 @@ from repro.hwmodel.clock import ClockDomain
 from repro.kernels import KERNEL_BACKEND_ENV, KNOWN_BACKENDS, set_default_backend
 from repro.mapping import OBJECTIVES, STRATEGIES, ScheduleOptimizer, make_strategy
 from repro.mapping.mapspace import ALGORITHM_MODES
+from repro.obs import trace as obs_trace
+from repro.obs.export import export_trace, render_summary, summarize_trace
+from repro.obs.metrics import REGISTRY, render_metrics
 from repro.runtime.supervisor import DEADLINE_ENV, RETRIES_ENV
 from repro.memory.traffic import TrafficModel
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
@@ -613,6 +630,7 @@ BENCHMARKS = {
     "kernels": ("benchmarks/bench_kernels.py",),
     "faults": ("benchmarks/bench_faults.py",),
     "winograd": ("benchmarks/bench_winograd.py",),
+    "obs": ("benchmarks/bench_obs.py",),
 }
 
 
@@ -668,6 +686,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize a wall-clock trace file written by ``--trace``."""
+    try:
+        summary = summarize_trace(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_summary(summary))
+    return 0
+
+
 def _verify_functional(args: argparse.Namespace) -> int:
     """Whole-network dataflow verification through the functional simulator.
 
@@ -718,6 +747,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker deaths one task may cause before it is "
                              "quarantined to serial parent execution "
                              f"(default: ${RETRIES_ENV} or 3)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a wall-clock span trace of the command "
+                             "(engines, cache, mapping search and pool "
+                             "workers merged) as Chrome trace-event JSON "
+                             "for Perfetto/chrome://tracing; a .jsonl "
+                             "suffix writes line-oriented JSON instead")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump the repro.obs metrics registry to stderr "
+                             "after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="describe the accelerator and its Table II utilization")
@@ -912,7 +950,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the pytest-benchmark timing loop instead "
                             "of the smoke pass")
 
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="inspect wall-clock traces exported with --trace",
+    )
+    trace_cmd.add_argument("action", choices=("summarize",),
+                           help="render per-span statistics for a trace file")
+    trace_cmd.add_argument("path", metavar="FILE",
+                           help="trace written by --trace (Chrome trace-event "
+                                "JSON or .jsonl)")
+
     return parser
+
+
+def _print_stats_footer(args: argparse.Namespace, wall_s: float) -> None:
+    """One-line run statistics after ``sweep``/``map`` (metrics-registry
+    sourced, printed even without ``--trace``)."""
+    flat = REGISTRY.flat()
+    if args.command == "map":
+        count = flat.get("mapping.candidates_searched", 0)
+        unit = "candidates"
+    else:
+        count = flat.get("sweep.points", 0) + flat.get("sweep.grid_points", 0)
+        unit = "points"
+    hits = flat.get("cache.hits", 0)
+    lookups = hits + flat.get("cache.misses", 0)
+    cache_part = (f"cache {hits}/{lookups} hits ({hits / lookups:.0%})"
+                  if lookups else "cache off")
+    workers = getattr(args, "workers", None) or getattr(args, "jobs", None)
+    if workers is None:
+        workers = "auto" if getattr(args, "parallel", False) else 1
+    rate = f", {count / wall_s:.1f} {unit}/s" if wall_s > 0 and count else ""
+    print(f"[obs] {args.command}: {count} {unit} in {wall_s:.2f}s{rate}, "
+          f"{cache_part}, workers={workers}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -928,6 +998,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[DEADLINE_ENV] = str(args.task_deadline)
     if args.task_retries is not None:
         os.environ[RETRIES_ENV] = str(args.task_retries)
+    if args.trace:
+        # enabling before dispatch also exports $REPRO_TRACE, so pool
+        # workers spawned lazily anywhere downstream record and ship spans
+        obs_trace.enable()
     handlers = {
         "info": cmd_info,
         "engines": cmd_engines,
@@ -940,8 +1014,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "map": cmd_map,
         "networks": cmd_networks,
         "bench": cmd_bench,
+        "trace": cmd_trace,
     }
-    return handlers[args.command](args)
+    start = time.perf_counter()
+    with obs_trace.span("cli." + args.command):
+        status = handlers[args.command](args)
+    wall_s = time.perf_counter() - start
+    if args.command in ("sweep", "pareto", "map"):
+        _print_stats_footer(args, wall_s)
+    if args.trace:
+        events = export_trace(args.trace)
+        print(f"[obs] wrote {events} trace events to {args.trace} — load in "
+              "Perfetto (ui.perfetto.dev) or chrome://tracing, or run "
+              f"'repro trace summarize {args.trace}'", file=sys.stderr)
+    if args.metrics:
+        print(render_metrics(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

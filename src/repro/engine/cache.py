@@ -48,6 +48,16 @@ from typing import Any, Dict, Iterator, Optional
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.engine.base import Engine, RunRecord
+from repro.obs import metrics as obs_metrics
+
+# process-wide observability mirrors of the per-instance counters below
+# (bound once: repro.obs.metrics memoises by name and reset() zeroes in place)
+_M_HITS = obs_metrics.counter("cache.hits")
+_M_MISSES = obs_metrics.counter("cache.misses")
+_M_QUARANTINED = obs_metrics.counter("cache.quarantined")
+_M_EVICTIONS = obs_metrics.counter("cache.evictions")
+_M_PUTS = obs_metrics.counter("cache.puts")
+_M_LOCK_WAIT = obs_metrics.histogram("cache.lock_wait_s")
 
 try:  # POSIX advisory locking; other platforms fall back to lock-free mode
     import fcntl
@@ -209,7 +219,9 @@ class RunCache:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         with (self.root / ".lock").open("w") as handle:
+            waited = time.perf_counter()
             fcntl.flock(handle, fcntl.LOCK_EX)
+            _M_LOCK_WAIT.observe(time.perf_counter() - waited)
             try:
                 yield
             finally:
@@ -235,12 +247,15 @@ class RunCache:
             record = RunRecord.from_json_dict(data)
         except OSError:
             self.misses += 1
+            _M_MISSES.inc()
             return None
         except (ValueError, KeyError, TypeError):
             self.misses += 1
+            _M_MISSES.inc()
             self._quarantine(path)
             return None
         self.hits += 1
+        _M_HITS.inc()
         try:
             os.utime(path)
         except OSError:
@@ -251,6 +266,7 @@ class RunCache:
         """Move a corrupt record aside and warn once per process."""
         global _warned_corrupt
         self.quarantined += 1
+        _M_QUARANTINED.inc()
         try:
             os.replace(path, path.with_name(path.name + CORRUPT_SUFFIX))
         except OSError:
@@ -280,6 +296,7 @@ class RunCache:
             except OSError:
                 pass
             raise
+        _M_PUTS.inc()
         if self.max_bytes is not None:
             self._evict_if_needed()
 
@@ -315,6 +332,7 @@ class RunCache:
                     continue
                 total -= size
                 self.evictions += 1
+                _M_EVICTIONS.inc()
 
     def _reap_orphans(self, min_age: float = 0.0) -> int:
         """Delete ``*.tmp`` spool files at least ``min_age`` seconds old."""

@@ -34,7 +34,18 @@ from repro.engine.cache import (
     workload_fingerprint,
 )
 from repro.engine.registry import create_engine
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
+
+# parent-side sweep throughput counters (also fed when the points actually
+# evaluate inside pool workers, so the CLI stats footer needs no shipping)
+_M_POINTS = obs_metrics.counter("sweep.points")
+_M_POINTS_CACHED = obs_metrics.counter("sweep.points_cached")
+_M_POINTS_EVALUATED = obs_metrics.counter("sweep.points_evaluated")
+_M_GRID_POINTS = obs_metrics.counter("sweep.grid_points")
+_M_GRID_CHUNKS = obs_metrics.counter("sweep.grid_chunks")
+_M_GRID_CHUNKS_CACHED = obs_metrics.counter("sweep.grid_chunks_cached")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.analysis.batch import BatchSweepResult, DesignGrid
@@ -166,24 +177,31 @@ class SweepExecutor:
         if network is None:
             raise ValueError("SweepExecutor needs a network (constructor or run())")
 
-        keys = [run_key(self.engine, network, config, batch)
-                for config, batch in points]
-        records: List[Optional[RunRecord]] = [None] * len(points)
-        pending: List[Tuple[int, Optional[ChainConfig], int]] = []
-        for index, (point, key) in enumerate(zip(points, keys)):
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                records[index] = cached
-            else:
-                pending.append((index, point[0], point[1]))
+        with obs_trace.span("sweep.run_points", engine=self.engine_name,
+                            network=network.name, points=len(points)) as sweep_span:
+            keys = [run_key(self.engine, network, config, batch)
+                    for config, batch in points]
+            records: List[Optional[RunRecord]] = [None] * len(points)
+            pending: List[Tuple[int, Optional[ChainConfig], int]] = []
+            for index, (point, key) in enumerate(zip(points, keys)):
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is not None:
+                    records[index] = cached
+                else:
+                    pending.append((index, point[0], point[1]))
+            _M_POINTS.inc(len(points))
+            _M_POINTS_CACHED.inc(len(points) - len(pending))
+            _M_POINTS_EVALUATED.inc(len(pending))
+            sweep_span.set(cached=len(points) - len(pending))
 
-        if pending:
-            fresh = self._run_pending(pending, network, parallel)
-            for (index, _, _), record in zip(pending, fresh):
-                record = record.with_cache_info(cache_key=keys[index], cached=False)
-                if self.cache is not None:
-                    self.cache.put(keys[index], record)
-                records[index] = record
+            if pending:
+                fresh = self._run_pending(pending, network, parallel)
+                for (index, _, _), record in zip(pending, fresh):
+                    record = record.with_cache_info(cache_key=keys[index],
+                                                    cached=False)
+                    if self.cache is not None:
+                        self.cache.put(keys[index], record)
+                    records[index] = record
         return [record for record in records if record is not None]
 
     def run_grid(
@@ -214,10 +232,15 @@ class SweepExecutor:
         for chunk in grid.chunks(chunk_size):
             key = grid_key(self.engine, network, base, chunk)
             cached = self.cache.get(key) if self.cache is not None else None
+            _M_GRID_CHUNKS.inc()
+            _M_GRID_POINTS.inc(chunk.n_points)
             if cached is not None and "batch_result" in cached.extra:
+                _M_GRID_CHUNKS_CACHED.inc()
                 results.append(BatchSweepResult.from_json_dict(cached.extra["batch_result"]))
                 continue
-            result = self.engine.evaluate_batch(network, chunk, base=base)
+            with obs_trace.span("sweep.grid_chunk", engine=self.engine_name,
+                                network=network.name, points=chunk.n_points):
+                result = self.engine.evaluate_batch(network, chunk, base=base)
             if self.cache is not None:
                 record = RunRecord(
                     engine=self.engine.name,
@@ -251,9 +274,11 @@ class SweepExecutor:
                         self._broadcast_pool = runtime
                     fingerprint = canonical_json(workload_fingerprint(network))
                     if fingerprint not in self._broadcast:
-                        runtime.broadcast("sweep.set_network",
-                                          {"fingerprint": fingerprint,
-                                           "network": network})
+                        with obs_trace.span("sweep.broadcast_network",
+                                            network=network.name):
+                            runtime.broadcast("sweep.set_network",
+                                              {"fingerprint": fingerprint,
+                                               "network": network})
                         self._broadcast.add(fingerprint)
                     return runtime.map("sweep.point", [
                         {

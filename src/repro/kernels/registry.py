@@ -41,6 +41,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
 
 #: environment variable naming the default kernel backend
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
@@ -231,16 +232,25 @@ def _warn_fallback(requested: str, error: Optional[str]) -> None:
     )
 
 
+def _counted(backend: KernelBackend) -> KernelBackend:
+    """Count one dispatch to ``backend`` in the observability registry."""
+    obs_metrics.REGISTRY.counter("kernels.dispatch." + backend.name).inc()
+    return backend
+
+
 def get_backend(name: Optional[str] = None) -> KernelBackend:
     """The kernel backend the selection precedence resolves to.
 
     ``name=None`` applies the override/env/autodetect chain; an explicit
     name short-circuits it.  Requesting ``numba`` without numba installed
     returns the numpy backend flagged with ``fallback_from="numba"``.
+    Every resolution counts as one ``kernels.dispatch.<name>`` metric, so
+    traces show which implementation actually served the hot loops.
     """
     requested = _requested_name(name)
     if requested is None:
-        return _numba_backend() if _probe_numba()[0] else _numpy_backend()
+        return _counted(_numba_backend() if _probe_numba()[0]
+                        else _numpy_backend())
     if requested not in KNOWN_BACKENDS:
         raise ConfigurationError(
             f"unknown kernel backend {requested!r}; expected one of "
@@ -250,9 +260,9 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
         available, _version, error = _probe_numba()
         if not available:
             _warn_fallback(requested, error)
-            return replace(_numpy_backend(), fallback_from="numba")
-        return _numba_backend()
-    return _numpy_backend()
+            return _counted(replace(_numpy_backend(), fallback_from="numba"))
+        return _counted(_numba_backend())
+    return _counted(_numpy_backend())
 
 
 def resolve_backend_name(name: Optional[str] = None) -> str:

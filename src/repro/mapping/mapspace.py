@@ -65,6 +65,12 @@ from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.core.mapper import LayerMapper
 from repro.errors import MappingError
+from repro.obs import metrics as obs_metrics
+
+# enumeration counters: "pruned" counts the candidates the analytic bounds
+# removed relative to the unpruned cross-product (full_size - pruned_size)
+_M_ENUMERATED = obs_metrics.counter("mapping.candidates_enumerated")
+_M_PRUNED = obs_metrics.counter("mapping.candidates_pruned")
 
 #: batch-interleave policies a candidate can select
 INTERLEAVES = ("batch", "image")
@@ -336,7 +342,10 @@ class LayerMapSpace:
 
     def enumerate(self) -> List[MappingCandidate]:
         """Every cost-distinct legal candidate (the pruned space)."""
-        return list(self.iter_candidates())
+        candidates = list(self.iter_candidates())
+        _M_ENUMERATED.inc(len(candidates))
+        _M_PRUNED.inc(max(0, self.full_size() - len(candidates)))
+        return candidates
 
     def iter_candidates(self) -> Iterator[MappingCandidate]:
         """Yield the pruned space lazily (see the module docstring bounds)."""

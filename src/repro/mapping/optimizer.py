@@ -59,6 +59,8 @@ from repro.mapping.mapspace import (
     candidate_arrays,
 )
 from repro.mapping.strategies import SearchResult, Strategy, make_strategy
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime import LazyRuntime, WorkerError
 from repro.sim.functional import FunctionalChainSimulator
 from repro.sim.winograd import (
@@ -66,6 +68,14 @@ from repro.sim.winograd import (
     winograd_ofmap_block,
     winograd_tolerance,
 )
+
+# parent-side search counters: candidates_searched aggregates the per-layer
+# evaluation counts from the entry results, so it is correct whether layers
+# searched serially or inside pool workers (candidates_scored, by contrast,
+# counts scoring calls in whichever process performed them)
+_M_LAYERS_SEARCHED = obs_metrics.counter("mapping.layers_searched")
+_M_CANDIDATES_SEARCHED = obs_metrics.counter("mapping.candidates_searched")
+_M_SCHEDULE_CACHE_HITS = obs_metrics.counter("mapping.schedule_cache_hits")
 
 #: objective name -> per-layer proxy column of MAPPING_RESULT_COLUMNS
 OBJECTIVES: Dict[str, str] = {
@@ -140,16 +150,19 @@ def search_layer_entry(layer, config: ChainConfig, objective: str,
     independent of which process runs the search.  ``algorithm`` is the
     space's algorithm-axis mode (``direct`` | ``winograd`` | ``auto``).
     """
-    space = LayerMapSpace(layer, config, algorithm=algorithm)
-    evaluator, scorer = make_layer_scorer(layer, config, objective, batch,
-                                          energy,
-                                          kernel_backend=kernel_backend)
-    result = strategy.search(space, scorer, shortlist=shortlist)
-    baseline = space.baseline()
-    pool = list(result.candidates)
-    if baseline not in pool:
-        pool.append(baseline)
-    columns = evaluator.evaluate(*candidate_arrays(pool))
+    with obs_trace.span("map.search_layer", layer=layer.name,
+                        strategy=strategy.name, objective=objective) as layer_span:
+        space = LayerMapSpace(layer, config, algorithm=algorithm)
+        evaluator, scorer = make_layer_scorer(layer, config, objective, batch,
+                                              energy,
+                                              kernel_backend=kernel_backend)
+        result = strategy.search(space, scorer, shortlist=shortlist)
+        layer_span.set(evaluations=result.evaluations)
+        baseline = space.baseline()
+        pool = list(result.candidates)
+        if baseline not in pool:
+            pool.append(baseline)
+        columns = evaluator.evaluate(*candidate_arrays(pool))
     rows = [
         {name: float(columns[name][index]) for name in MAPPING_RESULT_COLUMNS}
         for index in range(len(pool))
@@ -448,9 +461,15 @@ class ScheduleOptimizer:
             key = self.cache_key(network)
             record = self.cache.get(key)
             if record is not None and "schedule" in record.extra:
-                return OptimizedSchedule.from_json_dict(record.extra["schedule"],
-                                                        cached=True)
-        schedule = self._optimize_uncached(network)
+                _M_SCHEDULE_CACHE_HITS.inc()
+                schedule = OptimizedSchedule.from_json_dict(
+                    record.extra["schedule"], cached=True)
+                _M_CANDIDATES_SEARCHED.inc(schedule.evaluations)
+                return schedule
+        with obs_trace.span("map.optimize", network=network.name,
+                            strategy=self.strategy.name,
+                            objective=self.objective):
+            schedule = self._optimize_uncached(network)
         if self.cache is not None:
             self.cache.put(key, RunRecord(
                 engine="mapping-search",
@@ -514,6 +533,8 @@ class ScheduleOptimizer:
         baseline_rows: List[LayerSchedule] = []
         evaluations = 0
         for entry in self._search_all_layers(network):
+            _M_LAYERS_SEARCHED.inc()
+            _M_CANDIDATES_SEARCHED.inc(entry["evaluations"])
             evaluations += entry["evaluations"]
             pool = entry["pool"]
             metric_cache.append(dict(zip(pool, entry["rows"])))

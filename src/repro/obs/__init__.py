@@ -1,0 +1,98 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+The observability layer over the whole stack:
+
+* :mod:`repro.obs.trace` — span-based *wall-clock* tracing with nested
+  spans, monotonic timestamps, attributes, and process/worker identity;
+  near-zero overhead while disabled.  (Distinct from
+  :mod:`repro.sim.trace`, the simulated *cycle-domain* event log of the
+  cycle-accurate PE-chain simulator.)
+* :mod:`repro.obs.metrics` — an always-on registry of counters, gauges,
+  and histograms fed by ``RunCache``, the sweep executors, the mapping
+  search, the supervised runtime, and the kernel registry.
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event (Perfetto /
+  ``chrome://tracing``) exporters plus trace summarization/validation.
+
+Pool workers record locally and ship ``(events, metrics delta)`` payloads
+back on the existing result channel (see ``repro.runtime.pool``), so one
+merged trace covers the whole pool and survives crash/respawn.
+
+Enabled by the CLI ``--trace FILE`` / ``--metrics`` flags or
+programmatically::
+
+    from repro import obs
+    obs.enable()
+    with obs.span("my.phase", n=42):
+        ...
+    obs.export_trace("trace.json")
+"""
+
+from repro.obs import metrics
+from repro.obs import trace
+from repro.obs.export import (
+    export_trace,
+    load_trace,
+    render_summary,
+    summarize_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    render_metrics,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TraceRecorder,
+    absorb,
+    disable,
+    enable,
+    enabled,
+    get_recorder,
+    instant,
+    ship,
+    span,
+    traced,
+    worker_init,
+)
+
+__all__ = [
+    "metrics",
+    "trace",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "render_metrics",
+    "TRACE_ENV",
+    "TraceRecorder",
+    "absorb",
+    "disable",
+    "enable",
+    "enabled",
+    "get_recorder",
+    "instant",
+    "ship",
+    "span",
+    "traced",
+    "worker_init",
+    "export_trace",
+    "load_trace",
+    "render_summary",
+    "summarize_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,270 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Every performance-critical subsystem (``RunCache``, ``SweepExecutor``,
+``BatchDesignEvaluator``, the mapping search, ``SupervisedRuntime``, the
+kernel registry) increments named metrics through the module-global
+:data:`REGISTRY`.  Metrics are *always on*: an increment is a plain Python
+attribute add on a memoised object, cheap enough to leave in the hot
+paths unconditionally — that is what lets the CLI print its stats footer
+after every ``sweep``/``map`` without ``--trace``.
+
+Worker processes carry the same registry (it travels across ``fork`` /
+is rebuilt on ``spawn``); :meth:`MetricsRegistry.collect_delta` diffs the
+registry against the last shipped baseline so each task result can carry
+only the increments it caused, and :meth:`MetricsRegistry.merge` folds a
+shipped delta into the parent registry — counters add, gauges take the
+last write, histograms merge count/total/min/max.
+
+The registry is deliberately not thread-safe: the runtime is
+process-parallel (one registry per process) and CPython attribute
+increments are only ever raced by signal handlers we do not use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+class Counter:
+    """A monotonically increasing count (hits, points, retries, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (pool size, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming summary (count/total/min/max) of observed samples.
+
+    Full bucketed distributions are overkill for the latencies tracked
+    here (lock waits, span durations); count+total+extrema merge exactly
+    across processes, which the worker shipping path requires.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"count": self.count, "total": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+            out["mean"] = self.total / self.count
+        return out
+
+
+class MetricsRegistry:
+    """Memoised name -> instrument store with delta shipping and merge."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # baseline snapshot the next collect_delta() diffs against
+        self._baseline: Optional[Dict[str, Any]] = None
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # -- snapshots / shipping ---------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Nested view of every non-zero instrument (JSON-serialisable)."""
+        return {
+            "counters": {c.name: c.value
+                         for c in self._counters.values() if c.value},
+            "gauges": {g.name: g.value
+                       for g in self._gauges.values() if g.value},
+            "histograms": {h.name: h.as_dict()
+                           for h in self._histograms.values() if h.count},
+        }
+
+    def rebase(self) -> None:
+        """Make the current state the shipping baseline.
+
+        Called in freshly initialised workers so counts inherited across
+        ``fork`` are not re-shipped to the parent (which already has them).
+        """
+        self._baseline = self.snapshot()
+
+    def collect_delta(self) -> Optional[Dict[str, Any]]:
+        """Increments since the last ``rebase``/``collect_delta``.
+
+        Returns ``None`` when nothing changed.  Histogram deltas carry the
+        count/total diff plus the current extrema (min of mins is exact
+        under merge; a baseline-era extremum re-shipping is harmless).
+        """
+        base = self._baseline or {"counters": {}, "gauges": {}, "histograms": {}}
+        now = self.snapshot()
+        delta: Dict[str, Any] = {}
+        counters = {
+            name: value - base["counters"].get(name, 0)
+            for name, value in now["counters"].items()
+            if value != base["counters"].get(name, 0)
+        }
+        if counters:
+            delta["counters"] = counters
+        gauges = {
+            name: value
+            for name, value in now["gauges"].items()
+            if value != base["gauges"].get(name)
+        }
+        if gauges:
+            delta["gauges"] = gauges
+        histograms = {}
+        for name, summary in now["histograms"].items():
+            before = base["histograms"].get(name, {"count": 0, "total": 0.0})
+            if summary["count"] == before["count"]:
+                continue
+            histograms[name] = {
+                "count": summary["count"] - before["count"],
+                "total": summary["total"] - before["total"],
+                "min": summary["min"],
+                "max": summary["max"],
+            }
+        if histograms:
+            delta["histograms"] = histograms
+        self._baseline = now
+        return delta or None
+
+    def merge(self, delta: Optional[Dict[str, Any]]) -> None:
+        """Fold a shipped delta (from :meth:`collect_delta`) into this registry."""
+        if not delta:
+            return
+        for name, amount in delta.get("counters", {}).items():
+            self.counter(name).inc(amount)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in delta.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist.count += summary["count"]
+            hist.total += summary["total"]
+            if summary["min"] < hist.min:
+                hist.min = summary["min"]
+            if summary["max"] > hist.max:
+                hist.max = summary["max"]
+
+    # -- maintenance -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument *in place*.
+
+        Call sites bind instrument objects once at module import
+        (``_HITS = counter("cache.hits")``), so reset must keep the
+        objects and zero their state rather than clear the dicts.
+        """
+        for c in self._counters.values():
+            c.value = 0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h.count = 0
+            h.total = 0.0
+            h.min = float("inf")
+            h.max = float("-inf")
+        self._baseline = None
+
+    def flat(self) -> Dict[str, float]:
+        """Flat ``name -> number`` view for the ``--metrics`` text dump."""
+        out: Dict[str, float] = {}
+        snap = self.snapshot()
+        out.update(snap["counters"])
+        out.update(snap["gauges"])
+        for name, summary in snap["histograms"].items():
+            for key, value in summary.items():
+                out[f"{name}.{key}"] = value
+        return out
+
+
+#: the process-global registry every instrumented subsystem writes to
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``REGISTRY.counter(name)`` (bind once at import)."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def render_metrics(flat: Optional[Dict[str, float]] = None,
+                   prefixes: Optional[Iterable[str]] = None) -> str:
+    """Human-readable flat dump, sorted by name, for ``--metrics``."""
+    flat = REGISTRY.flat() if flat is None else flat
+    lines = []
+    for name in sorted(flat):
+        if prefixes and not any(name.startswith(p) for p in prefixes):
+            continue
+        value = flat[name]
+        if isinstance(value, float) and not value.is_integer():
+            lines.append(f"{name:<44} {value:.6g}")
+        else:
+            lines.append(f"{name:<44} {int(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,296 @@
+"""Span-based structured tracing (wall-clock domain).
+
+Nested spans with monotonic timestamps, free-form attributes, and
+process/worker identity, behind a context-manager/decorator API:
+
+>>> from repro.obs import trace
+>>> trace.enable()                       # or `repro ... --trace out.json`
+>>> with trace.span("sweep.run_points", points=64):
+...     ...
+>>> trace.instant("runtime.respawns", worker_id=3)
+
+Disabled (the default) every call is a near-zero no-op: :func:`span`
+returns a shared null context manager and :func:`instant` falls through
+a single ``None`` check — cheap enough to leave in hot paths (the
+``repro bench obs`` record asserts the <=1% budget).
+
+Two design points matter for the parallel runtime:
+
+* **One timeline across processes.**  Timestamps come from
+  ``time.monotonic``, which on Linux is CLOCK_MONOTONIC — a *system-wide*
+  clock, so forked/spawned workers share the parent's epoch and their
+  spans land on the same timeline without offset arithmetic.
+* **Only closed spans are recorded.**  A span buffers nothing until its
+  ``__exit__`` appends one complete event, so a shipped or exported
+  trace structurally cannot contain unclosed spans — a worker that
+  crashes mid-task simply loses that task's span, while the supervisor's
+  death/respawn instants (parent side) keep the failure visible.
+
+The clock is injectable (``TraceRecorder(clock=...)``) so tests can
+assert exact timestamps.  Not to be confused with
+:mod:`repro.sim.trace`, which records *simulated cycle-domain* PE events
+inside the cycle-accurate simulator; this module records *wall-clock*
+host execution.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "TRACE_ENV",
+    "TraceRecorder",
+    "enable",
+    "disable",
+    "enabled",
+    "get_recorder",
+    "span",
+    "instant",
+    "traced",
+    "worker_init",
+    "ship",
+    "absorb",
+]
+
+#: set by :func:`enable` so later-spawned pool workers inherit tracing
+TRACE_ENV = "REPRO_TRACE"
+
+
+class _Span:
+    """A live span; appends one complete event to the recorder on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "_start")
+
+    def __init__(self, recorder: "TraceRecorder", name: str,
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        rec = self._recorder
+        rec.depth += 1
+        self._start = rec.now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        rec = self._recorder
+        end = rec.now_us()
+        rec.depth -= 1
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "name": self.name,
+            "ts": self._start,
+            "dur": end - self._start,
+            "pid": rec.pid,
+            "tid": rec.tid,
+        }
+        if self.attrs:
+            event["args"] = self.attrs
+        if exc_type is not None:
+            event.setdefault("args", {})["error"] = exc_type.__name__
+        rec.events.append(event)
+
+
+class _NullSpan:
+    """The shared no-op span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Collects complete span/instant events for one process.
+
+    ``label`` names the process lane in exported traces (``main``,
+    ``worker-3``); ``clock`` defaults to the system-wide monotonic clock
+    and is injectable for deterministic tests.
+    """
+
+    def __init__(self, label: str = "main",
+                 clock: Optional[Callable[[], float]] = None,
+                 worker_id: Optional[int] = None) -> None:
+        self.label = label
+        self.worker_id = worker_id
+        self.clock = time.monotonic if clock is None else clock
+        self.pid = os.getpid()
+        self.tid = 0
+        self.depth = 0
+        self.events: List[Dict[str, Any]] = []
+
+    def now_us(self) -> int:
+        return int(self.clock() * 1_000_000)
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs or None)
+
+    def instant(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        event: Dict[str, Any] = {
+            "ph": "i",
+            "name": name,
+            "ts": self.now_us(),
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Take (and clear) the buffered events."""
+        events, self.events = self.events, []
+        return events
+
+    def process_labels(self) -> Dict[int, str]:
+        """pid -> label map over buffered events (merged traces span pids)."""
+        labels = {self.pid: self.label}
+        for event in self.events:
+            labels.setdefault(event["pid"], event.get("proc", "worker"))
+        return labels
+
+
+#: the process-global recorder; ``None`` means tracing is disabled
+_recorder: Optional[TraceRecorder] = None
+
+
+def enabled() -> bool:
+    return _recorder is not None
+
+
+def get_recorder() -> Optional[TraceRecorder]:
+    return _recorder
+
+
+def enable(clock: Optional[Callable[[], float]] = None,
+           label: str = "main", env: bool = True) -> TraceRecorder:
+    """Install a recorder; with ``env`` also mark :data:`TRACE_ENV` so
+    pool workers created afterwards enable themselves (os.environ is
+    inherited across both fork and spawn)."""
+    global _recorder
+    if _recorder is None:
+        _recorder = TraceRecorder(label=label, clock=clock)
+    if env:
+        os.environ[TRACE_ENV] = "1"
+    return _recorder
+
+
+def disable(env: bool = True) -> None:
+    global _recorder
+    _recorder = None
+    if env:
+        os.environ.pop(TRACE_ENV, None)
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing ``name``; no-op while tracing is disabled."""
+    rec = _recorder
+    if rec is None:
+        return _NULL_SPAN
+    return _Span(rec, name, attrs or None)
+
+
+def instant(name: str, **attrs: Any) -> None:
+    """Record a point event (worker death, respawn, quarantine...)."""
+    rec = _recorder
+    if rec is not None:
+        rec.instant(name, attrs or None)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator form of :func:`span` (span per call, qualname default)."""
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            rec = _recorder
+            if rec is None:
+                return fn(*args, **kwargs)
+            with _Span(rec, span_name, None):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+# -- worker-side collection -----------------------------------------------
+
+
+def worker_init(worker_id: int) -> bool:
+    """Called at the top of every pool worker's main loop.
+
+    Replaces any recorder inherited across ``fork`` (its buffer belongs
+    to the parent) with a fresh worker-labelled one when the parent
+    enabled tracing, and rebases the metrics registry so inherited
+    counts are not re-shipped.  Returns whether tracing is live.
+    """
+    global _recorder
+    if os.environ.get(TRACE_ENV):
+        _recorder = TraceRecorder(label=f"worker-{worker_id}",
+                                  worker_id=worker_id)
+        REGISTRY.rebase()
+        return True
+    _recorder = None
+    return False
+
+
+def ship() -> Optional[Dict[str, Any]]:
+    """The observability payload a worker attaches to a result message.
+
+    Completed span/instant events since the last ship, plus the metrics
+    delta.  ``None`` when tracing is disabled or nothing happened —
+    the common case for untraced runs, costing one ``None`` check.
+    """
+    rec = _recorder
+    if rec is None:
+        return None
+    events = rec.drain()
+    for event in events:
+        event.setdefault("proc", rec.label)
+    delta = REGISTRY.collect_delta()
+    if not events and not delta:
+        return None
+    payload: Dict[str, Any] = {}
+    if events:
+        payload["events"] = events
+    if delta:
+        payload["metrics"] = delta
+    return payload
+
+
+def absorb(payload: Optional[Dict[str, Any]]) -> None:
+    """Merge a shipped worker payload into this (parent) process.
+
+    Metrics merge into the registry unconditionally (they feed the stats
+    footer); events only land when the parent itself is recording.
+    """
+    if not payload:
+        return
+    REGISTRY.merge(payload.get("metrics"))
+    rec = _recorder
+    if rec is not None:
+        events = payload.get("events")
+        if events:
+            rec.events.extend(events)

@@ -42,6 +42,7 @@ import warnings
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import trace as obs_trace
 from repro.runtime.faults import FaultPlan, resolve_fault_plan
 from repro.runtime.tasks import TASKS
 
@@ -106,8 +107,16 @@ def _worker_main(worker_id: int, inbox, writer, fault_spec: Optional[str]) -> No
     pipe, and the rest of the pool is untouched.  ``Connection.send``
     pickles *before* writing, so a pickling error surfaces through the
     normal error path instead of a torn frame.
+
+    Result messages are 6-tuples ``(worker_id, task_id, attempt, ok,
+    value, obs)``: the last slot carries this worker's observability
+    payload (completed spans + metrics delta) when tracing is enabled and
+    ``None`` otherwise.  Shipping per task (rather than at shutdown) is
+    what lets a merged trace survive worker crash/respawn — only the
+    in-flight task's spans die with the worker.
     """
     plan = FaultPlan.parse(fault_spec) if fault_spec else FaultPlan.none()
+    obs_trace.worker_init(worker_id)
     context: Dict[str, Any] = {"worker_id": worker_id}
     while True:
         message = inbox.get()
@@ -120,12 +129,16 @@ def _worker_main(worker_id: int, inbox, writer, fault_spec: Optional[str]) -> No
             # and neither can leave a half-written result behind
             plan.inject(task_id, attempt)
             fn = TASKS[name]
-            result = fn(payload, context)
-            writer.send((worker_id, task_id, attempt, True, result))
+            with obs_trace.span("task:" + name, task_id=task_id,
+                                attempt=attempt):
+                result = fn(payload, context)
+            writer.send((worker_id, task_id, attempt, True, result,
+                         obs_trace.ship()))
         except BaseException as error:  # noqa: BLE001 - forwarded to parent
             detail = f"{type(error).__name__}: {error}\n{traceback.format_exc()}"
             try:
-                writer.send((worker_id, task_id, attempt, False, detail))
+                writer.send((worker_id, task_id, attempt, False, detail,
+                             obs_trace.ship()))
             except Exception:  # pragma: no cover - pipe gone: die visibly
                 os._exit(1)
 
@@ -254,6 +267,12 @@ class ParallelRuntime:
         Messages already buffered on a pipe are drained *before* its EOF is
         reported, so a worker that finished a task and then died never loses
         the finished result.
+
+        This is the single funnel every consumer (plain ``_drain`` and the
+        supervisor's loops) receives results through, so the worker
+        observability payload is absorbed here — merged into the parent's
+        recorder/metrics registry — and stripped, leaving the 5-tuples the
+        policy layer above was written against.
         """
         from multiprocessing import connection
 
@@ -267,7 +286,9 @@ class ParallelRuntime:
             worker_id = self._readers.index(ready)
             try:
                 while ready.poll():
-                    messages.append(ready.recv())
+                    message = ready.recv()
+                    obs_trace.absorb(message[5])
+                    messages.append(message[:5])
             except (EOFError, OSError):
                 dead.append(worker_id)
         return messages, dead

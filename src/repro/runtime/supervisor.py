@@ -45,6 +45,8 @@ from collections import deque
 from dataclasses import asdict, dataclass
 from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import REGISTRY
 from repro.runtime.pool import (
     _JOIN_SECONDS,
     _POLL_SECONDS,
@@ -171,9 +173,24 @@ class SupervisedRuntime(ParallelRuntime):
     # ------------------------------------------------------------------ #
     # worker lifecycle helpers
     # ------------------------------------------------------------------ #
+    def _count(self, field: str, n: int = 1, event: bool = True,
+               **attrs: Any) -> None:
+        """Bump one :class:`SupervisionStats` field and its mirror metric.
+
+        Every stats field doubles as a ``runtime.<field>`` counter in the
+        observability registry, and rare recovery events (deaths, respawns,
+        deadline kills, quarantines) additionally land as trace instants so
+        the merged pool timeline shows *when* recovery happened, not just
+        how often.
+        """
+        setattr(self.stats, field, getattr(self.stats, field) + n)
+        REGISTRY.counter("runtime." + field).inc(n)
+        if event:
+            obs_trace.instant("runtime." + field, **attrs)
+
     def _respawn(self, worker_id: int) -> None:
         """Replace a dead worker with a fresh (context-empty) process."""
-        self.stats.respawns += 1
+        self._count("respawns", worker_id=worker_id)
         time.sleep(min(
             self.policy.backoff * self.policy.backoff_factor
             ** max(0, self._death_streak - 1),
@@ -199,7 +216,8 @@ class SupervisedRuntime(ParallelRuntime):
         """Serial execution of one task in the parent (quarantine/drain)."""
         self._replay_parent_context()
         try:
-            return TASKS[task](payload, self._parent_context)
+            with obs_trace.span("task:" + task, where="parent"):
+                return TASKS[task](payload, self._parent_context)
         except Exception as error:
             raise WorkerError(
                 "runtime task failed during serial fallback: "
@@ -275,7 +293,7 @@ class SupervisedRuntime(ParallelRuntime):
             self._queue_replay(worker_id, queues, inflight, head_since, target)
 
         def condemned_or_respawn(worker_id: int) -> None:
-            self.stats.worker_deaths += 1
+            self._count("worker_deaths", worker_id=worker_id)
             self._death_streak += 1
             charges[worker_id] += 1
             while queues[worker_id]:
@@ -319,7 +337,7 @@ class SupervisedRuntime(ParallelRuntime):
                     if process.is_alive():
                         if (policy.deadline is not None and queues[worker_id]
                                 and now - head_since[worker_id] >= policy.deadline):
-                            self.stats.deadline_kills += 1
+                            self._count("deadline_kills", worker_id=worker_id)
                             self._kill_worker(worker_id)
                         else:
                             continue
@@ -346,7 +364,7 @@ class SupervisedRuntime(ParallelRuntime):
 
         policy = self.policy
         count = len(payloads)
-        self.stats.dispatched += count
+        self._count("dispatched", count, event=False)
         results: List[Any] = [None] * count
         done = [False] * count
         charges = [0] * count     # worker deaths attributed to each task
@@ -371,9 +389,9 @@ class SupervisedRuntime(ParallelRuntime):
                 remaining -= 1
 
         def quarantine(index: int) -> None:
-            self.stats.quarantined += 1
+            self._count("quarantined", task_id=first_id + index, task=task)
             if policy.quarantine == "failure":
-                self.stats.task_failures += 1
+                self._count("task_failures", event=False)
                 finish(index, TaskFailure(
                     task=task,
                     task_id=first_id + index,
@@ -384,11 +402,11 @@ class SupervisedRuntime(ParallelRuntime):
                     ),
                 ))
             else:
-                self.stats.serial_tasks += 1
+                self._count("serial_tasks", event=False)
                 finish(index, self._run_in_parent(task, payloads[index]))
 
         def handle_death(worker_id: int) -> None:
-            self.stats.worker_deaths += 1
+            self._count("worker_deaths", worker_id=worker_id)
             self._death_streak += 1
             requeue: List[int] = []
             first_entry = True
@@ -409,7 +427,7 @@ class SupervisedRuntime(ParallelRuntime):
                         quarantine(index)
                         first_entry = False
                         continue
-                    self.stats.retries += 1
+                    self._count("retries", task_id=first_id + index)
                 requeue.append(index)
                 first_entry = False
             pending.extendleft(reversed(requeue))
@@ -429,7 +447,7 @@ class SupervisedRuntime(ParallelRuntime):
                 # the parent — same tasks, same payloads, same results
                 for index in range(count):
                     if not done[index]:
-                        self.stats.serial_tasks += 1
+                        self._count("serial_tasks", event=False)
                         finish(index, self._run_in_parent(task, payloads[index]))
                 break
             for worker_id in sorted(alive):
@@ -471,7 +489,7 @@ class SupervisedRuntime(ParallelRuntime):
                 if not ok:
                     raise WorkerError(f"runtime task failed in worker:\n{value}")
                 self._death_streak = 0
-                self.stats.completed += 1
+                self._count("completed", event=False)
                 finish(index, value)
             for worker_id in sorted(set(eof)):
                 if worker_id in alive:
@@ -483,7 +501,7 @@ class SupervisedRuntime(ParallelRuntime):
                     if process.is_alive():
                         if (policy.deadline is not None and queues[worker_id]
                                 and now - head_since[worker_id] >= policy.deadline):
-                            self.stats.deadline_kills += 1
+                            self._count("deadline_kills", worker_id=worker_id)
                             self._kill_worker(worker_id)
                         else:
                             continue

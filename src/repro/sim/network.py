@@ -33,6 +33,7 @@ from repro.cnn.quantize import choose_format
 from repro.cnn.reference import conv2d_im2col, strided_windows
 from repro.core.config import ChainConfig
 from repro.errors import WorkloadError
+from repro.obs import trace as obs_trace
 from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
 from repro.sim.functional import (
     FunctionalChainSimulator,
@@ -310,11 +311,13 @@ class FunctionalNetworkRunner:
             weights = self._quantize(generator.weights(layer))
             algorithm = ((algorithms or {}).get(layer.name)
                          or self._algorithm_for(layer))
-            run = self._run_conv(
-                layer, activations, weights,
-                stripe_height=(stripe_heights or {}).get(layer.name),
-                algorithm=algorithm,
-            )
+            with obs_trace.span("verify.layer", layer=layer.name,
+                                network=network.name, algorithm=algorithm):
+                run = self._run_conv(
+                    layer, activations, weights,
+                    stripe_height=(stripe_heights or {}).get(layer.name),
+                    algorithm=algorithm,
+                )
             if algorithm == "winograd":
                 from repro.sim.winograd import winograd_tolerance
 

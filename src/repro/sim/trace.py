@@ -1,8 +1,22 @@
-"""Lightweight trace records for the cycle-level simulators.
+"""Lightweight *cycle-domain* trace records for the cycle-level simulators.
 
 The traces are intentionally simple — a list of (cycle, source, event, value)
 tuples with filtering helpers — enough to debug a schedule or to dump a
 text waveform, without pulling in a VCD dependency.
+
+Two trace layers exist in this codebase and they are deliberately separate:
+
+* **this module** records events in *simulated PE-chain cycles* — the
+  ``cycle`` field is a position in the modelled hardware's time, produced
+  by the cycle-accurate simulator, and has nothing to do with how long the
+  simulation took to run;
+* :mod:`repro.obs.trace` records *wall-clock host execution* — spans and
+  instants timed with ``time.monotonic`` across the CLI, engines, cache,
+  mapping search and pool workers, exported via ``--trace`` to
+  Perfetto/chrome://tracing.
+
+Rule of thumb: debugging the modelled hardware's schedule → this module;
+profiling where the *software* spends time → ``repro.obs``.
 """
 
 from __future__ import annotations
