@@ -79,7 +79,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.batch import DEFAULT_OBJECTIVES, HIGHER_IS_BETTER
+from repro.analysis.batch import DEFAULT_OBJECTIVES
 from repro.analysis.winograd import network_winograd_coverage, winograd_eligible
 from repro.analysis.report import render_bar_chart, render_dict_table, render_table
 from repro.analysis.sweep import DesignSpaceExplorer
@@ -92,6 +92,7 @@ from repro.core.utilization import utilization_table
 from repro.engine import (
     CACHE_DIR_ENV,
     CACHE_MAX_MB_ENV,
+    INDEX_ENV,
     RunCache,
     available_engines,
     create_engine,
@@ -105,6 +106,8 @@ from repro.obs.export import export_trace, render_summary, summarize_trace
 from repro.obs.metrics import REGISTRY, render_metrics
 from repro.runtime.supervisor import DEADLINE_ENV, RETRIES_ENV
 from repro.memory.traffic import TrafficModel
+from repro.serve import payloads as serve_payloads
+from repro.serve.protocol import DEFAULT_PORT
 from repro.sim.cycle import CYCLE_BACKENDS, CycleAccurateChainSimulator
 from repro.sim.network import FunctionalNetworkRunner
 
@@ -208,10 +211,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                if args.traffic else None)
 
     if args.json:
-        payload = record.to_json_dict()
-        if traffic is not None:
-            payload["traffic_mb"] = traffic.table()
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(serve_payloads.dumps(serve_payloads.run_payload(record, traffic)))
         return 0
 
     # the mapped engine reports search metrics, not the per-layer analytical
@@ -275,22 +275,6 @@ def _print_cache_counters(explorer: DesignSpaceExplorer) -> None:
           f"{stats['entries']} entries on disk ({stats['root']})")
 
 
-def _grid_result_payload(args: argparse.Namespace, engine: str, result,
-                         pareto, top) -> dict:
-    payload = {
-        "grid": args.grid,
-        "engine": engine,
-        "network": args.network,
-        "n_points": result.n_points,
-    }
-    if pareto is not None:
-        payload["pareto"] = {"objectives": list(args.objectives),
-                             "points": pareto.rows()}
-    if top is not None:
-        payload["top"] = {"metric": args.metric, "points": top.rows()}
-    return payload
-
-
 def cmd_sweep_grid(args: argparse.Namespace) -> int:
     """Dense-grid sweep through the columnar batch path."""
     if (getattr(args, "parallel", False) or getattr(args, "jobs", None)
@@ -303,10 +287,7 @@ def cmd_sweep_grid(args: argparse.Namespace) -> int:
         return 2
     # the columnar engines are numerically identical to their scalar
     # counterparts; dense grids dispatch to them in either fidelity mode
-    engine = {
-        "analytical": "analytical-batch",
-        "analytical-detailed": "analytical-batch-detailed",
-    }.get(args.engine, args.engine)
+    engine = serve_payloads.upgrade_grid_engine(args.engine)
     explorer = DesignSpaceExplorer(
         get_network(args.network),
         batch=args.batch,
@@ -314,22 +295,13 @@ def cmd_sweep_grid(args: argparse.Namespace) -> int:
         cache=_cache_from_args(args),
     )
     result = explorer.sweep_grid(args.grid, base=_config_from_args(args))
-    # higher-is-better columns are negated for the frontier and ranked
-    # descending for --top, so "best" always means best
-    maximized = tuple(name for name in args.objectives if name in HIGHER_IS_BETTER)
-    pareto = (result.pareto(objectives=args.objectives, maximize=maximized)
-              if args.pareto else None)
-    rank_descending = args.metric in HIGHER_IS_BETTER
-    top = (result.top_k(args.metric, args.top, maximize=rank_descending)
-           if args.top else None)
-    if pareto is None and top is None:
-        # no reducer requested: show the best points by the default metric
-        top = result.top_k(args.metric, min(10, result.n_points),
-                           maximize=rank_descending)
+    pareto, top = serve_payloads.reduce_grid_result(
+        result, args.objectives, args.metric, args.top, args.pareto)
 
     if args.json:
-        print(json.dumps(_grid_result_payload(args, engine, result, pareto, top),
-                         indent=2, sort_keys=True))
+        print(serve_payloads.dumps(serve_payloads.grid_payload(
+            args.grid, engine, args.network, result, pareto, top,
+            args.objectives, args.metric)))
         return 0
 
     print(f"{result.n_points} design points on {args.network} ({engine}), "
@@ -427,12 +399,40 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached records from {cache.root}")
         return 0
+    if args.action == "migrate":
+        outcome = cache.migrate()
+        if not outcome["enabled"]:
+            print(f"cache index disabled (${INDEX_ENV}=0); nothing to migrate")
+            return 0
+        if not outcome["available"]:
+            print(f"error: cache index under {cache.root} is unavailable "
+                  "(see the warning above)", file=sys.stderr)
+            return 1
+        print(f"cache index at {cache.root}: {outcome['entries']} records "
+              f"({outcome['added']} added, {outcome['refreshed']} refreshed, "
+              f"{outcome['pruned']} stale rows pruned)")
+        return 0
     stats = cache.stats()
     print(f"cache root : {stats['root']}")
     print(f"entries    : {stats['entries']}")
     print(f"size       : {stats['bytes'] / 1024:.1f} KiB")
     if stats["max_bytes"] is not None:
         print(f"size bound : {stats['max_bytes'] / (1024 * 1024):.1f} MiB (LRU)")
+    index = stats["index"]
+    if not index["enabled"]:
+        print(f"index      : disabled (${INDEX_ENV}=0)")
+    elif not index["available"]:
+        print("index      : unavailable — directory scans in use "
+              "('repro cache migrate' rebuilds it)")
+    else:
+        health = []
+        if index["stale"]:
+            health.append(f"{index['stale']} stale")
+        if index["unindexed"]:
+            health.append(f"{index['unindexed']} unindexed")
+        suffix = (f" ({', '.join(health)}; 'repro cache migrate' reconciles)"
+                  if health else " (healthy)")
+        print(f"index      : {index['entries']} records indexed{suffix}")
     if stats["tmp_orphans"]:
         print(f"tmp orphans: {stats['tmp_orphans']} (crash debris; "
               "'repro cache clear' reaps them)")
@@ -568,41 +568,8 @@ def cmd_map(args: argparse.Namespace) -> int:
                     if args.verify else None)
 
     if args.json:
-        payload = schedule.to_json_dict()
-        payload["algorithm_mode"] = args.algorithm
-        # flattened per-layer choice table: what the search actually picked,
-        # in a shape that is directly inspectable and diffable in CI (the
-        # nested layers/baseline records carry the full metric vectors)
-        payload["chosen"] = {
-            entry.layer_name: {
-                "algorithm": entry.candidate.algorithm,
-                "primitives": entry.candidate.primitives,
-                "stripe_height": entry.candidate.stripe_height,
-                "chunk": entry.candidate.chunk,
-                "interleave": entry.candidate.interleave,
-            }
-            for entry in schedule.layers
-        }
-        if verification is not None:
-            payload["verification"] = {
-                "passed": verification.passed,
-                "max_abs_error": verification.max_abs_error,
-                "tolerance": verification.tolerance,
-                "layers": [
-                    {
-                        "layer": entry.layer_name,
-                        "algorithm": entry.candidate.algorithm,
-                        "max_abs_error": entry.max_abs_error,
-                        "bit_identical": entry.bit_identical,
-                        "covers": list(entry.covers),
-                        "tolerance": (entry.tolerance
-                                      if entry.tolerance is not None
-                                      else verification.tolerance),
-                    }
-                    for entry in verification.layers
-                ],
-            }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(serve_payloads.dumps(
+            serve_payloads.map_payload(schedule, args.algorithm, verification)))
         return 0 if verification is None or verification.passed else 1
 
     print(schedule.describe())
@@ -619,6 +586,84 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the evaluation service until interrupted."""
+    import asyncio
+
+    from repro.serve.server import EvalServer
+
+    server = EvalServer(
+        args.host, args.port,
+        window_ms=args.window_ms,
+        workers=args.workers,
+        cache=_cache_from_args(args),
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro serve listening on http://{server.host}:{server.port} "
+              f"(coalescing window {args.window_ms:g} ms; Ctrl-C stops)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    flat = REGISTRY.flat()
+    print(f"[serve] {int(flat.get('serve.requests', 0))} requests, "
+          f"{int(flat.get('serve.coalesced_batches', 0))} coalesced batches, "
+          f"{int(flat.get('serve.points', 0))} points", file=sys.stderr)
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    """Send one request to a running evaluation service.
+
+    The response body is printed exactly as the server produced it, which
+    is byte-identical to the matching ``repro <command> --json`` output.
+    """
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as error:
+        print(f"error: request parameters must be a JSON object ({error})",
+              file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("error: request parameters must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.op in ("map", "verify"):
+                def on_event(event: dict) -> None:
+                    print(json.dumps(event, sort_keys=True), file=sys.stderr)
+                payload, status = client.stream(
+                    f"/v1/{args.op}", params,
+                    on_event if args.progress else None)
+                print(serve_payloads.dumps(payload))
+                return status
+            if args.op in ("health", "metrics"):
+                payload = client.call(f"/v1/{args.op}", method="GET")
+            else:
+                payload = client.call(f"/v1/{args.op}", params)
+            print(serve_payloads.dumps(payload))
+            return 0
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: cannot reach the evaluation service at "
+              f"{args.host}:{args.port} ({error}); start one with "
+              "'repro serve'", file=sys.stderr)
+        return 1
+
+
 #: registered benchmarks: name -> pytest files that measure it and write
 #: ``BENCH_<name>.json`` at the repo root (run from a repo checkout)
 BENCHMARKS = {
@@ -631,6 +676,7 @@ BENCHMARKS = {
     "faults": ("benchmarks/bench_faults.py",),
     "winograd": ("benchmarks/bench_winograd.py",),
     "obs": ("benchmarks/bench_obs.py",),
+    "serve": ("benchmarks/bench_serve.py",),
 }
 
 
@@ -852,8 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_grid_arguments(pareto, pareto_implied=True)
 
     cache = sub.add_parser("cache", help="inspect or clear the on-disk sweep cache")
-    cache.add_argument("action", choices=("stats", "clear"),
-                       help="show entry/size statistics or delete every record")
+    cache.add_argument("action", choices=("stats", "clear", "migrate"),
+                       help="show entry/size statistics (with sqlite index "
+                            "health), delete every record, or rebuild the "
+                            "sqlite index from the record files (idempotent; "
+                            "safe against a live server)")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory (default: "
                             f"${CACHE_DIR_ENV} or ~/.cache/repro-chain-nn)")
@@ -950,6 +999,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the pytest-benchmark timing loop instead "
                             "of the smoke pass")
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the evaluation service: concurrent run/sweep/map/verify "
+             "over HTTP/JSON with request coalescing",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: loopback)")
+    serve_cmd.add_argument("--port", type=int, default=DEFAULT_PORT,
+                           help=f"TCP port (default: {DEFAULT_PORT}; 0 picks "
+                                "a free port)")
+    serve_cmd.add_argument("--window-ms", type=_positive_float, default=4.0,
+                           help="coalescing micro-batch window: how long the "
+                                "first sweep request of a batch waits for "
+                                "compatible company (default: 4 ms)")
+    serve_cmd.add_argument("--workers", type=_positive_int, default=None,
+                           help="default worker processes for map/verify "
+                                "requests that do not set their own "
+                                "(default: serial, like the CLI)")
+    serve_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="shared RunCache for mapping searches "
+                                f"(${CACHE_DIR_ENV} enables the default "
+                                "location)")
+    serve_cmd.add_argument("--no-cache", action="store_true",
+                           help="disable the on-disk cache even when "
+                                f"${CACHE_DIR_ENV} is set")
+    serve_cmd.add_argument("--cache-max-mb", type=_positive_float, default=None,
+                           metavar="MB", help="bound the cache with LRU eviction")
+
+    request_cmd = sub.add_parser(
+        "request",
+        help="send one request to a running evaluation service and print "
+             "the JSON response (byte-identical to the --json CLI output)",
+    )
+    request_cmd.add_argument("op",
+                             choices=("run", "sweep", "map", "verify",
+                                      "health", "metrics"),
+                             help="operation to request")
+    request_cmd.add_argument("params", nargs="?", default=None,
+                             metavar="JSON",
+                             help="request parameters as a JSON object, e.g. "
+                                  '\'{"network": "alexnet", "batch": 8}\' '
+                                  "(defaults mirror the CLI defaults)")
+    request_cmd.add_argument("--host", default="127.0.0.1")
+    request_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+    request_cmd.add_argument("--timeout", type=_positive_float, default=600.0,
+                             help="response timeout in seconds")
+    request_cmd.add_argument("--progress", action="store_true",
+                             help="print map/verify progress events to stderr "
+                                  "as they stream in")
+
     trace_cmd = sub.add_parser(
         "trace",
         help="inspect wall-clock traces exported with --trace",
@@ -1015,6 +1114,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "networks": cmd_networks,
         "bench": cmd_bench,
         "trace": cmd_trace,
+        "serve": cmd_serve,
+        "request": cmd_request,
     }
     start = time.perf_counter()
     with obs_trace.span("cli." + args.command):

@@ -399,15 +399,15 @@ class FunctionalEngine(Engine):
         #: results are bit-identical serial or parallel, so the worker count
         #: deliberately stays out of the engine fingerprint
         self.workers = workers
-        from repro.runtime import LazyRuntime
+        from repro.runtime import shared_runtime
 
-        self._pool = LazyRuntime(workers)
+        self._pool = shared_runtime()
 
     def _runtime(self):
         """The engine's persistent pool, or ``None`` for the serial path."""
         if self.workers is None or self.workers <= 1 or self.backend != "vectorized":
             return None
-        return self._pool.get()
+        return self._pool.get(workers=self.workers)
 
     def _simulate(self, network: Network, config: ChainConfig) -> Dict[str, Any]:
         memo_key = canonical_json({

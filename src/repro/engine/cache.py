@@ -29,7 +29,13 @@ evaluation-as-a-service prerequisite):
   age-reaped opportunistically during eviction;
 * with ``max_mb`` set (CLI ``--cache-max-mb`` / ``$REPRO_CACHE_MAX_MB``),
   the store is size-bounded: least-recently-*used* records (hits bump
-  mtime) are evicted under the lock until the bound holds.
+  mtime) are evicted under the lock until the bound holds;
+* a WAL-mode **sqlite index** (:mod:`repro.engine.cache_index`) beside the
+  records turns the aggregate operations — entry/byte totals, the LRU
+  victim scan, recency bumps — into single indexed queries instead of
+  directory walks; payloads stay content-addressed JSON files, any sqlite
+  failure degrades back to the walk paths, and :meth:`RunCache.migrate`
+  (idempotent, live-server-safe) indexes records written by older layouts.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from typing import Any, Dict, Iterator, Optional
 from repro.cnn.network import Network
 from repro.core.config import ChainConfig
 from repro.engine.base import Engine, RunRecord
+from repro.engine.cache_index import CacheIndex, index_enabled
 from repro.obs import metrics as obs_metrics
 
 # process-wide observability mirrors of the per-instance counters below
@@ -181,17 +188,27 @@ class RunCache:
     """
 
     def __init__(self, root: str | Path | None = None,
-                 max_mb: Optional[float] = None) -> None:
+                 max_mb: Optional[float] = None,
+                 use_index: Optional[bool] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         if max_mb is None:
             max_mb = _env_max_mb()
         if max_mb is not None and max_mb <= 0:
             raise ValueError(f"max_mb must be positive, got {max_mb}")
         self.max_bytes = int(max_mb * 1024 * 1024) if max_mb is not None else None
+        if use_index is None:
+            use_index = index_enabled()
+        self._index: Optional[CacheIndex] = (
+            CacheIndex(self.root) if use_index else None)
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
         self.evictions = 0
+
+    @property
+    def index(self) -> Optional[CacheIndex]:
+        """The sqlite index handle (``None`` when disabled outright)."""
+        return self._index
 
     # ------------------------------------------------------------------ #
     # path handling
@@ -260,6 +277,16 @@ class RunCache:
             os.utime(path)
         except OSError:
             pass  # concurrently evicted/cleared; the hit itself already served
+        if self._index is not None and not self._index.touch(key, time.time()):
+            # hit on a record the index never saw (legacy layout, or written
+            # with the index disabled): self-heal by indexing it now
+            try:
+                stat = path.stat()
+            except OSError:
+                pass
+            else:
+                self._index.add(key, path.name, stat.st_size, stat.st_mtime,
+                                record.engine)
         return record.with_cache_info(cache_key=key, cached=True)
 
     def _quarantine(self, path: Path) -> None:
@@ -267,6 +294,8 @@ class RunCache:
         global _warned_corrupt
         self.quarantined += 1
         _M_QUARANTINED.inc()
+        if self._index is not None and path.suffix == ".json":
+            self._index.remove(path.name[:-len(".json")])
         try:
             os.replace(path, path.with_name(path.name + CORRUPT_SUFFIX))
         except OSError:
@@ -297,6 +326,15 @@ class RunCache:
                 pass
             raise
         _M_PUTS.inc()
+        if self._index is not None:
+            path = self.path_for(key)
+            try:
+                stat = path.stat()
+            except OSError:
+                pass  # concurrently evicted/cleared already
+            else:
+                self._index.add(key, path.name, stat.st_size, stat.st_mtime,
+                                record.engine)
         if self.max_bytes is not None:
             self._evict_if_needed()
 
@@ -310,6 +348,9 @@ class RunCache:
         """
         assert self.max_bytes is not None
         with self._locked():
+            self._reap_orphans(min_age=TMP_ORPHAN_SECONDS)
+            if self._evict_via_index():
+                return
             entries = []
             total = 0
             for path in self.root.glob("*.json"):
@@ -319,7 +360,6 @@ class RunCache:
                     continue
                 entries.append((stat.st_mtime, stat.st_size, path))
                 total += stat.st_size
-            self._reap_orphans(min_age=TMP_ORPHAN_SECONDS)
             if total <= self.max_bytes:
                 return
             entries.sort(key=lambda item: (item[0], item[2].name))
@@ -330,9 +370,45 @@ class RunCache:
                     path.unlink()
                 except OSError:
                     continue
+                if self._index is not None:
+                    self._index.remove(path.name[:-len(".json")])
                 total -= size
                 self.evictions += 1
                 _M_EVICTIONS.inc()
+
+    def _evict_via_index(self) -> bool:
+        """Indexed eviction cycle; ``False`` falls back to the walk path.
+
+        One ``sum(size)`` query replaces the directory ``stat`` walk and an
+        indexed oldest-first cursor replaces the full sort, so a bounded
+        put's overhead no longer grows with the record count.  A row whose
+        file already vanished (deleted by an unindexed process) is dropped
+        as stale rather than counted as an eviction.  Runs under the
+        advisory lock held by :meth:`_evict_if_needed`.
+        """
+        if self._index is None:
+            return False
+        totals = self._index.totals()
+        if totals is None:
+            return False  # index degraded: caller walks the directory
+        total = totals[1]
+        if total <= self.max_bytes:
+            return True
+        for key, name, size, _mtime in self._index.lru():
+            if total <= self.max_bytes:
+                break
+            try:
+                (self.root / name).unlink()
+            except FileNotFoundError:
+                pass  # stale row: the bytes were already gone
+            except OSError:
+                continue
+            else:
+                self.evictions += 1
+                _M_EVICTIONS.inc()
+            self._index.remove(key)
+            total -= size
+        return self._index.available
 
     def _reap_orphans(self, min_age: float = 0.0) -> int:
         """Delete ``*.tmp`` spool files at least ``min_age`` seconds old."""
@@ -355,11 +431,16 @@ class RunCache:
         ``corrupt`` count crash debris and quarantined records still on
         disk; ``hits``/``misses``/``quarantined``/``evictions`` count this
         process's outcomes (the counters the sweep executor surfaces).
+        The ``index`` block reports sqlite-index health: row count vs
+        on-disk payload files, ``stale`` rows whose file vanished and
+        ``unindexed`` files the index never saw (``repro cache migrate``
+        reconciles both).
         """
         entries = 0
         size = 0
         tmp_orphans = 0
         corrupt = 0
+        disk_keys = set()
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 try:
@@ -367,6 +448,7 @@ class RunCache:
                 except OSError:
                     continue
                 entries += 1
+                disk_keys.add(path.name[:-len(".json")])
             tmp_orphans = sum(1 for _ in self.root.glob("*.tmp"))
             corrupt = sum(1 for _ in self.root.glob(f"*{CORRUPT_SUFFIX}"))
         return {
@@ -380,7 +462,100 @@ class RunCache:
             "misses": self.misses,
             "quarantined": self.quarantined,
             "evictions": self.evictions,
+            "index": self._index_health(disk_keys),
         }
+
+    def _index_health(self, disk_keys: set) -> Dict[str, Any]:
+        """Index-vs-directory reconciliation report for :meth:`stats`."""
+        if self._index is None:
+            return {"enabled": False, "available": False}
+        index_keys = self._index.keys()
+        if index_keys is None:
+            return {"enabled": True, "available": False}
+        indexed = set(index_keys)
+        return {
+            "enabled": True,
+            "available": True,
+            "entries": len(indexed),
+            "stale": len(indexed - disk_keys),
+            "unindexed": len(disk_keys - indexed),
+        }
+
+    def quick_stats(self) -> Dict[str, Any]:
+        """``entries``/``bytes`` without walking the directory.
+
+        One indexed query when the index is live — the O(1) lookup path the
+        serving layer polls — falling back to the :meth:`stats` walk when
+        the index is disabled, degraded or not yet built.
+        """
+        if self._index is not None:
+            totals = self._index.totals()
+            if totals is not None:
+                return {"entries": totals[0], "bytes": totals[1],
+                        "indexed": True}
+        stats = self.stats()
+        return {"entries": stats["entries"], "bytes": stats["bytes"],
+                "indexed": False}
+
+    def migrate(self) -> Dict[str, Any]:
+        """Reconcile the sqlite index with the on-disk records (idempotent).
+
+        Indexes every payload file the index never saw (reading the engine
+        name from the record body), refreshes rows whose size/mtime
+        drifted, and prunes rows whose file vanished.  Runs under the
+        advisory lock, so concurrent migrations and eviction cycles
+        serialise — and it is safe against a **live server**: single-record
+        reads/writes never take that lock, and a put racing the scan simply
+        self-indexes, which the upsert tolerates.  Running it twice is a
+        no-op.
+        """
+        if self._index is None:
+            return {"enabled": False, "available": False, "entries": 0,
+                    "added": 0, "refreshed": 0, "pruned": 0}
+        with self._locked():
+            disk: Dict[str, Any] = {}
+            if self.root.is_dir():
+                for path in self.root.glob("*.json"):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    disk[path.name[:-len(".json")]] = (
+                        path.name, stat.st_size, stat.st_mtime)
+            existing = {key: (name, size, mtime)
+                        for key, name, size, mtime in self._index.lru()}
+            added = refreshed = pruned = 0
+            for key, (name, size, mtime) in sorted(disk.items()):
+                previous = existing.get(key)
+                if previous is not None:
+                    if previous[1] == size and previous[2] == mtime:
+                        continue
+                    self._index.add(key, name, size, mtime)
+                    refreshed += 1
+                    continue
+                self._index.add(key, name, size, mtime,
+                                self._record_engine(self.root / name))
+                added += 1
+            for key in sorted(existing.keys() - disk.keys()):
+                self._index.remove(key)
+                pruned += 1
+            return {
+                "enabled": True,
+                "available": self._index.available,
+                "entries": len(disk),
+                "added": added,
+                "refreshed": refreshed,
+                "pruned": pruned,
+            }
+
+    @staticmethod
+    def _record_engine(path: Path) -> str:
+        """Engine name stored in a record file (``""`` when unreadable)."""
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return str(json.load(handle).get("engine", ""))
+        except (OSError, ValueError):
+            return ""
 
     def clear(self) -> int:
         """Delete every record, quarantined record and orphaned spool file.
@@ -397,4 +572,6 @@ class RunCache:
                 for path in self.root.glob(f"*{CORRUPT_SUFFIX}"):
                     path.unlink(missing_ok=True)
                 self._reap_orphans()
+                if self._index is not None:
+                    self._index.clear()
         return removed

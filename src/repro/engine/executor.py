@@ -36,7 +36,7 @@ from repro.engine.cache import (
 from repro.engine.registry import create_engine
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
+from repro.runtime import ParallelRuntime, WorkerError, shared_runtime
 
 # parent-side sweep throughput counters (also fed when the points actually
 # evaluate inside pool workers, so the CLI stats footer needs no shipping)
@@ -91,9 +91,10 @@ class SweepExecutor:
         self.batch = batch
         self.cache = cache
         self.max_workers = max_workers
-        #: persistent worker pool, created lazily on the first parallel call
-        #: and reused for the executor's lifetime
-        self._pool = LazyRuntime(max_workers)
+        #: the process-wide worker pool handle, created lazily on the first
+        #: parallel call and shared with every other runtime consumer (the
+        #: executor's --workers only sizes its own calls)
+        self._pool = shared_runtime()
         #: network fingerprints already broadcast, per live pool instance
         #: (a replaced pool has fresh workers that know no networks)
         self._broadcast: set = set()
@@ -113,8 +114,8 @@ class SweepExecutor:
     # runtime lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Stop the persistent workers (idempotent; serial use needs none)."""
-        self._pool.close()
+        """Detach from the shared pool (idempotent; serial use needs none)."""
+        self._pool.release()
         self._broadcast = set()
         self._broadcast_pool = None
 
@@ -266,7 +267,8 @@ class SweepExecutor:
         parallel: bool,
     ) -> List[RunRecord]:
         if parallel and self._parallelizable and len(pending) > 1:
-            runtime = self._pool.get(task_hint=len(pending))
+            runtime = self._pool.get(task_hint=len(pending),
+                                     workers=self.max_workers)
             if runtime is not None:
                 try:
                     if runtime is not self._broadcast_pool:

@@ -61,7 +61,7 @@ from repro.mapping.mapspace import (
 from repro.mapping.strategies import SearchResult, Strategy, make_strategy
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.runtime import LazyRuntime, WorkerError
+from repro.runtime import WorkerError, shared_runtime
 from repro.sim.functional import FunctionalChainSimulator
 from repro.sim.winograd import (
     conv2d_winograd,
@@ -443,7 +443,7 @@ class ScheduleOptimizer:
         #: *does* enter the fingerprint — backends are bit-identical, but
         #: the cache stays conservative about who produced a record)
         self.kernel_backend = resolve_backend_name(kernel_backend)
-        self._pool = LazyRuntime(workers)
+        self._pool = shared_runtime()
 
     # ------------------------------------------------------------------ #
     # search
@@ -496,7 +496,8 @@ class ScheduleOptimizer:
         """
         layers = network.conv_layers
         if self.workers is not None and self.workers > 1 and len(layers) > 1:
-            runtime = self._pool.get(task_hint=len(layers))
+            runtime = self._pool.get(task_hint=len(layers),
+                                     workers=self.workers)
             if runtime is not None:
                 payloads = [
                     {

@@ -39,6 +39,7 @@ from repro.runtime.pool import (
     ParallelRuntime,
     WorkerError,
     resolve_workers,
+    shared_runtime,
 )
 from repro.runtime.shm import SharedTensor
 from repro.runtime.supervisor import (
@@ -56,6 +57,7 @@ __all__ = [
     "FaultSpecError",
     "LazyRuntime",
     "ParallelRuntime",
+    "shared_runtime",
     "RetryPolicy",
     "SharedTensor",
     "SupervisedRuntime",

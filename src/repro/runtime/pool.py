@@ -375,32 +375,41 @@ class ParallelRuntime:
 
 
 class LazyRuntime:
-    """Create-once/close-once ownership of a supervised runtime pool.
+    """Create-once/release-often ownership of a supervised runtime pool.
 
     The shared lifecycle every runtime consumer (sweep executor, schedule
-    optimizer, network runner, functional engine) needs:
+    optimizer, network runner, functional engine, evaluation server) needs:
 
     * the pool is created on first :meth:`get` and **reused across calls**
       (that is what makes the workers persistent);
-    * a failed creation (pool-less platform) is remembered, so serial
-      degradation does not retry the expensive probe on every call;
     * a pool that closed itself is *replaced* on the next :meth:`get` —
       one fatal crash does not poison the owner forever;
     * ``task_hint`` caps creation at the useful size, so three pending
       points never fork a 64-core pool — and a later call with more work
       **grows** the pool (replacing the small one) rather than staying
-      pinned to the first call's size.
+      pinned to the first call's size; replacing a *live* pool emits a
+      one-line warning so double-spawns are visible, never silent;
+    * a per-call ``workers`` override sizes the pool for that caller
+      without rebuilding it when callers with different ``--workers``
+      alternate — the pool only ever grows to the largest request;
+    * a live pool whose fault plan no longer matches ``$REPRO_FAULT_SPEC``
+      is replaced, so a chaos-injected pool never leaks into clean runs
+      (or vice versa).
 
     Pools handed out are :class:`~repro.runtime.supervisor.
     SupervisedRuntime` instances, so worker crashes, hangs and poison
     tasks are retried/respawned/quarantined instead of aborting the run.
     An explicit ``policy`` overrides the environment-derived retry policy.
+
+    Most consumers should hold the process-wide handle from
+    :func:`shared_runtime` and detach with :meth:`release` — only owners
+    of a private handle (tests, benchmarks) call :meth:`close` directly.
     """
 
     def __init__(self, workers: Optional[int] = None, policy=None) -> None:
         self.workers = workers
         self.policy = policy
-        self._runtime: Optional[ParallelRuntime] | bool = None
+        self._runtime: Optional[ParallelRuntime] = None
 
     @property
     def runtime(self) -> Optional[ParallelRuntime]:
@@ -409,14 +418,15 @@ class LazyRuntime:
             return self._runtime
         return None
 
-    def get(self, task_hint: Optional[int] = None) -> Optional[ParallelRuntime]:
+    def get(self, task_hint: Optional[int] = None,
+            workers: Optional[int] = None) -> Optional[ParallelRuntime]:
         """The live pool, creating / growing / replacing one as needed."""
         global _warned_single_core
-        if self._runtime is False:
-            return None  # platform has no pools; don't retry the probe
         if (os.cpu_count() or 1) <= 1 and not os.environ.get(FORCE_PARALLEL_ENV):
             # forking workers on a single core only adds IPC overhead; the
-            # serial paths are bit-identical, so degrade instead
+            # serial paths are bit-identical, so degrade instead (checked
+            # per call, not memoised: a shared process-wide handle must not
+            # stay poisoned once the condition changes)
             if not _warned_single_core:
                 _warned_single_core = True
                 warnings.warn(
@@ -425,22 +435,32 @@ class LazyRuntime:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-            self._runtime = False
             return None
-        target = resolve_workers(self.workers)
+        target = resolve_workers(workers if workers is not None else self.workers)
         if task_hint is not None:
             target = max(1, min(target, task_hint))
         live = self.runtime
-        if live is not None and live.workers >= target:
-            return live
-        # dead pool, or live-but-smaller than this call can use: replace
-        # (pools only ever grow; a later small call reuses the big pool)
+        plan_current = resolve_fault_plan(None).describe()
+        if live is not None:
+            if live.workers >= target \
+                    and live.fault_plan.describe() == plan_current:
+                return live
+            reason = ("fault plan changed"
+                      if live.fault_plan.describe() != plan_current
+                      else f"growing to {target} workers for this call")
+            warnings.warn(
+                f"replacing live {live.workers}-worker pool ({reason})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        # dead pool, or live-but-unsuitable for this call: replace (pools
+        # only ever grow; a later small call reuses the big pool)
         self.close()
         # create() resolves through the MRO, so SupervisedRuntime instances
         # come out of ParallelRuntime.create's degradation funnel
         from repro.runtime.supervisor import SupervisedRuntime
 
-        self._runtime = SupervisedRuntime.create(target) or False
+        self._runtime = SupervisedRuntime.create(target)
         runtime = self.runtime
         if runtime is not None:
             if self.policy is not None and hasattr(runtime, "policy"):
@@ -459,8 +479,41 @@ class LazyRuntime:
             self._runtime.close()
         self._runtime = None
 
+    def release(self) -> None:
+        """Consumer detach: closes private handles, keeps the shared one.
+
+        Every pool consumer calls this from its own ``close()``.  A private
+        handle dies with its consumer exactly as before; the process-wide
+        :func:`shared_runtime` handle stays up for the next consumer (the
+        atexit sweep reaps it at interpreter exit).
+        """
+        if self is not _shared_runtime:
+            self.close()
+
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
             self.close()
         except Exception:
             pass
+
+
+#: the process-wide pool handle (created on first use, re-keyed after fork)
+_shared_runtime: Optional[LazyRuntime] = None
+_shared_runtime_pid: Optional[int] = None
+
+
+def shared_runtime() -> LazyRuntime:
+    """The single process-wide :class:`LazyRuntime` every consumer shares.
+
+    Routing the sweep executor, schedule optimizer, network runner,
+    functional engine and the evaluation server through one handle means
+    one process never hosts duplicate worker pools: alternating consumers
+    (or ``--workers`` values) reuse the existing pool when it is big
+    enough and grow it — with a warning — when it is not.  A forked child
+    gets a fresh handle; the parent's pool belongs to the parent.
+    """
+    global _shared_runtime, _shared_runtime_pid
+    if _shared_runtime is None or _shared_runtime_pid != os.getpid():
+        _shared_runtime = LazyRuntime()
+        _shared_runtime_pid = os.getpid()
+    return _shared_runtime

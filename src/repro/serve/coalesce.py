@@ -1,0 +1,160 @@
+"""Request coalescing: merge compatible sweeps into one columnar call.
+
+The batch evaluator's throughput comes from array width — scoring one
+point costs nearly as much as scoring thousands.  The coalescer exploits
+that: requests arriving within a short micro-batch window whose grids
+are *compatible* (same coalesce key — engine fingerprint, network
+workload, base config and cache schema) are concatenated into a single
+:class:`~repro.analysis.batch.DesignGrid`, scored by **one**
+``evaluate_batch`` call, and sliced back per request.
+
+Because the batch evaluator is purely elementwise per design point,
+concatenate → evaluate → slice is float-bit-identical to evaluating each
+request's grid alone; the scatter step uses
+:meth:`~repro.analysis.batch.BatchSweepResult.take` so even column
+dtypes survive untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.batch import BatchSweepResult, DesignGrid
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["Coalescer", "merge_grids", "scatter_result"]
+
+#: micro-batch window: how long the first request of a batch waits for
+#: company before the batch is flushed (seconds)
+DEFAULT_WINDOW_S = 0.004
+
+#: flush early once a batch holds this many points / requests
+DEFAULT_MAX_POINTS = 262_144
+DEFAULT_MAX_REQUESTS = 256
+
+_M_BATCHES = obs_metrics.counter("serve.coalesced_batches")
+_M_COALESCED = obs_metrics.counter("serve.coalesced_requests")
+_M_BATCH_REQUESTS = obs_metrics.histogram("serve.batch_requests")
+_M_BATCH_POINTS = obs_metrics.histogram("serve.batch_points")
+_M_QUEUE_WAIT = obs_metrics.histogram("serve.queue_wait_s")
+
+
+def merge_grids(grids: Sequence[DesignGrid]) -> Tuple[DesignGrid,
+                                                      List[Tuple[int, int]]]:
+    """Concatenate grids into one; returns ``(merged, [(start, stop)])``."""
+    spans: List[Tuple[int, int]] = []
+    offset = 0
+    for grid in grids:
+        spans.append((offset, offset + grid.n_points))
+        offset += grid.n_points
+    if len(grids) == 1:
+        return grids[0], spans
+    merged = DesignGrid(
+        num_pes=np.concatenate([grid.num_pes for grid in grids]),
+        frequency_hz=np.concatenate([grid.frequency_hz for grid in grids]),
+        batch=np.concatenate([grid.batch for grid in grids]),
+        word_bits=np.concatenate([grid.word_bits for grid in grids]),
+    )
+    return merged, spans
+
+
+def scatter_result(result: BatchSweepResult,
+                   spans: Sequence[Tuple[int, int]]) -> List[BatchSweepResult]:
+    """Slice a merged result back into per-request results, in span order."""
+    return [result.take(np.arange(start, stop)) for start, stop in spans]
+
+
+@dataclass
+class _Pending:
+    """One awaiting request inside a batch bucket."""
+
+    grid: DesignGrid
+    future: "asyncio.Future[BatchSweepResult]"
+    enqueued: float
+
+
+@dataclass
+class Coalescer:
+    """Window-based micro-batcher over an async ``evaluate`` callable.
+
+    ``evaluate(key, merged_grid)`` scores one merged grid (the server
+    runs it in a worker thread so the event loop stays responsive).
+    ``submit`` parks each request on a future; the first request of a
+    key's bucket arms a ``window_s`` timer, and the bucket flushes when
+    the timer fires or the size bounds are hit — whichever comes first.
+    Requests with different keys never share a batch.
+    """
+
+    evaluate: Callable[[str, DesignGrid], Awaitable[BatchSweepResult]]
+    window_s: float = DEFAULT_WINDOW_S
+    max_points: int = DEFAULT_MAX_POINTS
+    max_requests: int = DEFAULT_MAX_REQUESTS
+    #: raw queue-wait samples for p50/p99 (the metrics histogram keeps
+    #: only count/total/min/max)
+    queue_waits: Deque[float] = field(default_factory=lambda: deque(maxlen=8192))
+
+    def __post_init__(self) -> None:
+        self._pending: Dict[str, List[_Pending]] = {}
+        self._timers: Dict[str, asyncio.TimerHandle] = {}
+        self._tasks: set = set()
+
+    async def submit(self, key: str, grid: DesignGrid) -> BatchSweepResult:
+        """Queue one request's grid; resolves with its slice of the batch."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[BatchSweepResult]" = loop.create_future()
+        bucket = self._pending.setdefault(key, [])
+        bucket.append(_Pending(grid, future, loop.time()))
+        points = sum(pending.grid.n_points for pending in bucket)
+        if len(bucket) == 1:
+            self._timers[key] = loop.call_later(
+                self.window_s, self._flush_now, key)
+        if points >= self.max_points or len(bucket) >= self.max_requests:
+            self._flush_now(key)
+        return await future
+
+    def _flush_now(self, key: str) -> None:
+        """Detach ``key``'s bucket and score it in a background task."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._pending.pop(key, None)
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(self._flush(key, batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _flush(self, key: str, batch: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for pending in batch:
+            wait = now - pending.enqueued
+            _M_QUEUE_WAIT.observe(wait)
+            self.queue_waits.append(wait)
+        merged, spans = merge_grids([pending.grid for pending in batch])
+        _M_BATCHES.inc()
+        _M_COALESCED.inc(len(batch))
+        _M_BATCH_REQUESTS.observe(len(batch))
+        _M_BATCH_POINTS.observe(merged.n_points)
+        try:
+            result = await self.evaluate(key, merged)
+        except Exception as error:  # noqa: BLE001 - fan the failure out
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return
+        for pending, piece in zip(batch, scatter_result(result, spans)):
+            if not pending.future.done():
+                pending.future.set_result(piece)
+
+    async def drain(self) -> None:
+        """Flush every armed bucket now and wait for in-flight batches."""
+        for key in list(self._pending):
+            self._flush_now(key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.cnn.reference import conv2d_im2col, strided_windows
 from repro.core.config import ChainConfig
 from repro.errors import WorkloadError
 from repro.obs import trace as obs_trace
-from repro.runtime import LazyRuntime, ParallelRuntime, WorkerError
+from repro.runtime import ParallelRuntime, WorkerError, shared_runtime
 from repro.sim.functional import (
     FunctionalChainSimulator,
     FunctionalRunResult,
@@ -183,7 +183,7 @@ class FunctionalNetworkRunner:
         #: chained forward pass stays serial — layer N+1 needs layer N's
         #: ofmaps — but within a layer every ofmap channel is independent
         self.workers = workers
-        self._pool = LazyRuntime(workers)
+        self._pool = shared_runtime()
 
     # ------------------------------------------------------------------ #
     # parallel runtime lifecycle
@@ -200,11 +200,11 @@ class FunctionalNetworkRunner:
             return None
         if self.backend != "vectorized":
             return None
-        return self._pool.get()
+        return self._pool.get(workers=self.workers)
 
     def close(self) -> None:
-        """Stop the persistent workers (idempotent; serial use needs none)."""
-        self._pool.close()
+        """Detach from the shared pool (idempotent; serial use needs none)."""
+        self._pool.release()
 
     def __enter__(self) -> "FunctionalNetworkRunner":
         return self
@@ -254,7 +254,9 @@ class FunctionalNetworkRunner:
 
     def run(self, network: Network,
             stripe_heights: Optional[Dict[str, int]] = None,
-            algorithms: Optional[Dict[str, str]] = None) -> NetworkRunResult:
+            algorithms: Optional[Dict[str, str]] = None,
+            progress: Optional[Callable[[StageReport], None]] = None,
+            ) -> NetworkRunResult:
         """Propagate quantised activations through ``network`` and verify.
 
         Every conv layer's simulated ofmaps are compared against the im2col
@@ -272,6 +274,10 @@ class FunctionalNetworkRunner:
         algorithms`); unlisted layers follow the runner's algorithm mode.
         Winograd stages record the documented per-stage tolerance instead of
         the network-wide one.
+
+        ``progress`` is called with each :class:`StageReport` as it lands
+        (the evaluation service streams these to clients as chunked
+        progress events); it must not mutate the report.
         """
         result = NetworkRunResult(
             network=network.name,
@@ -300,6 +306,8 @@ class FunctionalNetworkRunner:
                     out_shape=activations.shape,
                     seconds=time.perf_counter() - stage_start,
                 ))
+                if progress is not None:
+                    progress(result.stages[-1])
                 continue
             if activations is None:
                 activations = self._quantize(generator.ifmaps(layer))
@@ -338,6 +346,8 @@ class FunctionalNetworkRunner:
                 algorithm=algorithm,
                 tolerance=stage_tolerance,
             ))
+            if progress is not None:
+                progress(result.stages[-1])
             _accumulate(result.stats, run.stats)
             result.chain_cycles_estimate += run.chain_cycles_estimate
             # ReLU then re-quantise: the activation path every fixed-point

@@ -21,7 +21,7 @@ from repro.sim.functional import FunctionalChainSimulator
 
 class TestPackageApi:
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "1.6.0"
 
     def test_public_symbols_importable(self):
         for name in repro.__all__:
